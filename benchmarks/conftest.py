@@ -1,0 +1,56 @@
+"""Shared fixtures for the benchmark suite.
+
+Each benchmark reproduces one table or figure of the paper: it runs the
+corresponding experiment driver from :mod:`repro.eval.experiments`, prints
+the same rows/series the paper reports, and asserts the qualitative shape
+(who wins, what grows, where the crossover is) rather than absolute numbers.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+
+Pass ``--repro-profile=paper`` for larger (slower) experiment sizes that get
+closer to the paper's setup.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.eval import SmokeScale
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--repro-profile", action="store", default="smoke",
+        choices=("smoke", "paper"),
+        help="Experiment size: 'smoke' (default, minutes) or 'paper' (hours).")
+
+
+@pytest.fixture(scope="session")
+def scale(request) -> SmokeScale:
+    """Experiment size preset shared by every benchmark."""
+    profile = request.config.getoption("--repro-profile")
+    if profile == "paper":
+        return SmokeScale(
+            dataset_scale={"dmv": 0.01, "kddcup98": 0.5, "census": 0.5},
+            kdd_columns=100,
+            num_test_queries=2_000,
+            num_train_queries=10_000,
+            epochs=20,
+            hidden_sizes=(128, 128),
+        )
+    return SmokeScale()
+
+
+@pytest.fixture(scope="session")
+def naru_samples(request) -> int:
+    """Progressive-sampling budget for Naru/UAE (paper: 2,000)."""
+    if request.config.getoption("--repro-profile") == "paper":
+        return 2_000
+    return 100
+
+
+def run_once(benchmark, target, *args, **kwargs):
+    """Run an experiment driver exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(target, args=args, kwargs=kwargs, rounds=1, iterations=1)

@@ -1,0 +1,47 @@
+"""Ablation benchmarks for the design choices called out in DESIGN.md.
+
+* hybrid vs data-only training (the paper's Duet vs DuetD columns),
+* the expand coefficient mu of Algorithm 1,
+* the log2(QError+1) mapping of the hybrid query loss (Figure 3 rationale).
+"""
+
+from conftest import run_once
+
+from repro.eval import (
+    ablation_expand_coefficient,
+    ablation_hybrid_training,
+    ablation_loss_mapping,
+)
+
+
+def test_ablation_hybrid_training(benchmark, scale):
+    result = run_once(benchmark, ablation_hybrid_training, dataset="census", scale=scale)
+    print()
+    print(result.render())
+    names = [row[0] for row in result.rows]
+    assert names == ["duet-d", "duet"]
+    # Both variants must produce finite, sane errors; the relative ordering
+    # is dataset-dependent (the paper itself reports hybrid slightly *hurting*
+    # on Census), so only sanity is asserted here.
+    assert all(row[1] >= 1.0 and row[3] >= 1.0 for row in result.rows)
+
+
+def test_ablation_expand_coefficient(benchmark, scale):
+    result = run_once(benchmark, ablation_expand_coefficient, dataset="census",
+                      coefficients=(1, 2, 4), scale=scale)
+    print()
+    print(result.render())
+    mus = [row[0] for row in result.rows]
+    throughputs = [row[3] for row in result.rows]
+    assert mus == [1, 2, 4]
+    # Larger mu -> more virtual tuples per anchor -> lower raw throughput.
+    assert throughputs[0] >= throughputs[-1]
+
+
+def test_ablation_loss_mapping(benchmark, scale):
+    result = run_once(benchmark, ablation_loss_mapping, dataset="census", scale=scale)
+    print()
+    print(result.render())
+    labels = [row[0] for row in result.rows]
+    assert labels == ["log2(QError+1)", "raw QError"]
+    assert all(row[1] >= 1.0 for row in result.rows)

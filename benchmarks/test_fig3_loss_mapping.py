@@ -1,0 +1,19 @@
+"""Figure 3: the log2 mapping keeps L_query on the same scale as L_data."""
+
+from conftest import run_once
+
+from repro.eval import figure3_loss_mapping
+
+
+def test_fig3_loss_mapping(benchmark, scale):
+    result = run_once(benchmark, figure3_loss_mapping, dataset="dmv", scale=scale)
+    print()
+    print(result.render())
+
+    # Shape check: the raw Q-Error starts orders of magnitude above the data
+    # loss, while the mapped loss is on the same order as L_data.
+    assert result.raw_qerror[0] > result.mapped_query_loss[0]
+    assert result.mapped_query_loss[0] < 10 * max(result.data_loss[0], 1.0)
+    # The mapped query loss decreases (or at least does not explode) over
+    # training, which is the stability argument of Figure 3.
+    assert result.mapped_query_loss[-1] <= result.mapped_query_loss[0] * 1.5

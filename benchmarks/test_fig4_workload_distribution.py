@@ -1,0 +1,24 @@
+"""Figure 4: cardinality distribution of the Rand-Q and In-Q test workloads."""
+
+from conftest import run_once
+
+from repro.eval import figure4_workload_distribution
+
+
+def test_fig4_workload_distribution(benchmark, scale):
+    results = run_once(
+        benchmark,
+        lambda: [figure4_workload_distribution(name, scale)
+                 for name in ("dmv", "kddcup98", "census")])
+    print()
+    for result in results:
+        print(result.render())
+        print()
+
+    for result in results:
+        # Shape check: the two workloads have clearly different cardinality
+        # distributions (the premise of the workload-drift discussion).
+        assert result.rand_q_median != result.in_q_median
+        # CDFs are monotonically non-decreasing.
+        assert (result.rand_q_cdf[0][1:] >= result.rand_q_cdf[0][:-1]).all()
+        assert (result.in_q_cdf[0][1:] >= result.in_q_cdf[0][:-1]).all()

@@ -1,0 +1,19 @@
+"""Figure 5: hyper-parameter study on the trade-off coefficient lambda."""
+
+from conftest import run_once
+
+from repro.eval import figure5_lambda_study
+
+
+def test_fig5_lambda_study(benchmark, scale):
+    result = run_once(benchmark, figure5_lambda_study,
+                      lambdas=(1e-3, 1e-2, 1e-1, 1.0), dataset="kddcup98", scale=scale)
+    print()
+    print(result.render())
+
+    # Shape check: an intermediate lambda generalises at least as well as the
+    # extreme settings (the paper picks 0.1; a very large weight degrades the
+    # model towards query-driven behaviour on random queries).
+    assert len(result.max_qerror) == 4
+    assert result.best_lambda in result.lambdas
+    assert min(result.max_qerror[1:3]) <= result.max_qerror[-1] * 1.5

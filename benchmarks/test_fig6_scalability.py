@@ -1,0 +1,37 @@
+"""Figure 6: estimation latency as the number of predicate columns grows.
+
+The paper's headline scalability result: Duet needs one forward pass per
+query regardless of how many columns are constrained, while Naru and UAE
+pay one forward pass (over all sample paths) per constrained column.
+"""
+
+from conftest import run_once
+
+from repro.eval import figure6_scalability
+
+
+def test_fig6_scalability(benchmark, scale, naru_samples):
+    counts = (2, 5, 10, 15, 20) if scale.kdd_columns >= 20 else (2, 4, 8)
+    result = run_once(benchmark, figure6_scalability, column_counts=counts,
+                      dataset="kddcup98", queries_per_point=5,
+                      naru_samples=naru_samples, scale=scale)
+    print()
+    print(result.render())
+
+    duet = result.latencies_ms["duet"]
+    naru = result.latencies_ms["naru"]
+    uae = result.latencies_ms["uae"]
+
+    # Shape check 1: at the widest query, Duet is faster than Naru and UAE.
+    assert duet[-1] < naru[-1]
+    assert duet[-1] < uae[-1]
+    # Shape check 2: Naru/UAE latency grows markedly with the number of
+    # constrained columns (O(n) forward passes), Duet stays roughly flat.
+    assert naru[-1] > naru[0] * 1.5
+    assert uae[-1] > uae[0] * 1.5
+    assert duet[-1] < duet[0] * 3.0
+    # Shape check 3: the dominant growth for Naru comes from inference +
+    # sampling, mirroring the paper's stacked-bar breakdown.
+    naru_breakdown = result.breakdowns["naru"][-1]
+    assert naru_breakdown["inference"] + naru_breakdown["sampling"] \
+        > naru_breakdown["encoding"]

@@ -1,0 +1,21 @@
+"""Figure 7: per-query estimation cost of the learned estimators."""
+
+from conftest import run_once
+
+from repro.eval import figure7_estimation_cost
+
+
+def test_fig7_estimation_cost(benchmark, scale, naru_samples):
+    result = run_once(benchmark, figure7_estimation_cost, dataset="census",
+                      scale=scale, naru_samples=naru_samples)
+    print()
+    print(result.render())
+
+    costs = result.per_query_ms
+    # Shape checks from the paper's Figure 7: Duet (and DuetD) are much
+    # cheaper than the progressive-sampling methods (Naru, UAE); MSCN, being
+    # a single small feed-forward network, is the cheapest learned method.
+    assert costs["duet"] < costs["naru"]
+    assert costs["duet"] < costs["uae"]
+    assert costs["duet-d"] < costs["naru"]
+    assert costs["mscn"] <= costs["naru"]

@@ -1,0 +1,19 @@
+"""Figure 8: convergence speed (max Q-Error per epoch) on random queries."""
+
+from conftest import run_once
+
+from repro.eval import convergence_study
+
+
+def test_fig8_convergence_rand_q(benchmark, scale, naru_samples):
+    result = run_once(benchmark, convergence_study, workload_kind="rand-q",
+                      dataset="census", scale=scale, naru_samples=naru_samples)
+    print()
+    print(result.render())
+
+    curves = result.max_qerror
+    assert set(curves) == {"duet", "duet-d", "naru", "uae"}
+    for name, series in curves.items():
+        assert len(series) == len(result.epochs)
+        # Convergence: the best epoch is no worse than the first epoch.
+        assert min(series) <= series[0] * 1.2, name

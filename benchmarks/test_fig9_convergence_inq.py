@@ -1,0 +1,19 @@
+"""Figure 9: convergence speed (max Q-Error per epoch) on in-workload queries."""
+
+from conftest import run_once
+
+from repro.eval import convergence_study
+
+
+def test_fig9_convergence_in_q(benchmark, scale, naru_samples):
+    result = run_once(benchmark, convergence_study, workload_kind="in-q",
+                      dataset="census", scale=scale, naru_samples=naru_samples)
+    print()
+    print(result.render())
+
+    curves = result.max_qerror
+    assert set(curves) == {"duet", "duet-d", "naru", "uae"}
+    # Shape check: with hybrid training on the same workload family, Duet's
+    # best in-workload error is at least as good as the data-only DuetD's
+    # first-epoch error (hybrid supervision helps convergence, Figure 9).
+    assert min(curves["duet"]) <= curves["duet-d"][0] * 1.2

@@ -1,0 +1,22 @@
+"""Table I: comparison of the three MPSN candidates (MLP / REC / RNN)."""
+
+from conftest import run_once
+
+from repro.eval import table1_mpsn_comparison
+
+
+def test_table1_mpsn_comparison(benchmark, scale):
+    result = run_once(benchmark, table1_mpsn_comparison,
+                      kinds=("mlp", "recursive", "rnn"), dataset="census", scale=scale)
+    print()
+    print(result.render())
+
+    rows = {row.name: row for row in result.rows}
+    assert set(rows) == {"mlp", "recursive", "rnn"}
+    # Shape check (paper's Table I): the MLP MPSN is the cheapest to train
+    # and to run, which is why the paper selects it as the default.
+    assert rows["mlp"].training_cost_seconds <= rows["rnn"].training_cost_seconds
+    assert rows["mlp"].estimation_cost_ms <= rows["rnn"].estimation_cost_ms
+    # Accuracy of all three candidates stays in the same ballpark.
+    best = min(row.max_qerror for row in result.rows)
+    assert all(row.max_qerror <= 25 * best for row in result.rows)

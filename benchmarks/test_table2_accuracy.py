@@ -1,0 +1,67 @@
+"""Table II: accuracy (Q-Error percentiles) of all methods on the three datasets.
+
+The full paper table covers DMV, Kddcup98, and Census with nine estimators
+and two workloads each.  The benchmark reproduces one dataset block per test
+so the slow blocks can be deselected individually.
+"""
+
+import numpy as np
+import pytest
+from conftest import run_once
+
+from repro.eval import table2_accuracy
+
+
+def _print(result):
+    print()
+    print(result.render())
+
+
+def test_table2_census(benchmark, scale, naru_samples):
+    result = run_once(benchmark, table2_accuracy, dataset="census",
+                      scale=scale, naru_samples=naru_samples)
+    _print(result)
+
+    rand = {name: res.summary for name, res in result.random.items()}
+    # Shape checks mirroring the paper's conclusions on the small dataset:
+    # the learned data-driven/hybrid methods beat the traditional ones.
+    learned_median = np.median([rand[name].median for name in ("naru", "duet", "duet-d")])
+    traditional_median = np.median([rand[name].median for name in ("sampling", "indep", "mhist")])
+    assert learned_median <= traditional_median * 1.5
+    # Duet's estimation cost is below the progressive-sampling methods.
+    assert result.costs_ms["duet"] < result.costs_ms["naru"]
+
+
+def test_table2_kddcup_high_dimensional(benchmark, scale, naru_samples):
+    """The paper's headline accuracy claim: on the high-dimensional table the
+    sampling-free methods (Duet/DuetD) dominate, especially at the tail."""
+    result = run_once(benchmark, table2_accuracy, dataset="kddcup98",
+                      estimators=("sampling", "indep", "mscn", "deepdb",
+                                  "naru", "duet-d", "duet"),
+                      scale=scale, naru_samples=naru_samples)
+    _print(result)
+
+    rand = {name: res.summary for name, res in result.random.items()}
+    duet_tail = min(rand["duet"].maximum, rand["duet-d"].maximum)
+    # Duet's max Q-Error stays below the progressive-sampling and the
+    # query-driven baselines on the high-dimensional table (long-tail claim).
+    assert duet_tail <= rand["naru"].maximum * 1.2
+    assert duet_tail <= rand["mscn"].maximum
+    # And Duet does not suffer from workload drift: random-query accuracy is
+    # within an order of magnitude of in-workload accuracy.
+    in_q = result.in_workload["duet"].summary
+    assert rand["duet"].median <= max(in_q.median * 10, 10)
+
+
+def test_table2_dmv_high_cardinality(benchmark, scale, naru_samples):
+    result = run_once(benchmark, table2_accuracy, dataset="dmv",
+                      estimators=("sampling", "indep", "deepdb", "naru", "duet-d", "duet"),
+                      scale=scale, naru_samples=naru_samples)
+    _print(result)
+
+    rand = {name: res.summary for name, res in result.random.items()}
+    # On the high-cardinality table the neural methods must at least match
+    # the independence baseline; Duet stays in the same accuracy class as
+    # Naru (the paper reports Naru slightly ahead, Duet close behind).
+    assert rand["duet"].median <= rand["indep"].median * 2
+    assert rand["duet"].median <= rand["naru"].median * 5

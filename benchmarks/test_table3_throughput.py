@@ -1,0 +1,24 @@
+"""Table III: training throughput (tuples/s) of the data-driven and hybrid methods."""
+
+from conftest import run_once
+
+from repro.eval import table3_training_throughput
+
+
+def test_table3_training_throughput(benchmark, scale, naru_samples):
+    result = run_once(benchmark, table3_training_throughput, dataset="census",
+                      scale=scale, naru_samples=naru_samples)
+    print()
+    print(result.render())
+
+    throughput = result.tuples_per_second
+    activations = result.peak_activation_elements
+    assert set(throughput) == {"naru", "uae", "duet-d", "duet"}
+    assert all(value > 0 for value in throughput.values())
+    # Shape checks from the paper's Table III discussion:
+    # Naru (no virtual-table sampling, no query loss) is the fastest trainer,
+    # and Duet's hybrid step costs less additional memory than UAE's
+    # sample-tracking query loss (the OOM discussion).
+    assert throughput["naru"] >= throughput["duet"]
+    assert activations["uae"] > activations["duet"]
+    assert activations["uae"] > activations["naru"]

@@ -1,0 +1,76 @@
+"""Multiple predicates per column: Duet's MPSN component in action.
+
+Queries like ``20 <= age AND age <= 40`` place two predicates on one column.
+Duet handles them with a Multiple Predicates Supporting Network (§IV-F): a
+small per-column network embeds the variable-length predicate list into the
+fixed-width input block of the autoregressive model.  The script trains such
+a model, answers two-sided range queries, and demonstrates the merged
+block-diagonal MPSN acceleration.
+
+Run with::
+
+    python examples/multi_predicate_queries.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core import DuetConfig, DuetEstimator, DuetModel, DuetTrainer, MPSNConfig
+from repro.data import make_census
+from repro.eval import evaluate_estimator
+from repro.workload import Query, cardinality, make_multi_predicate_workload
+
+
+def main() -> None:
+    table = make_census(scale=0.06, seed=0)
+    print(f"table {table.name!r}: {table.num_rows} rows, {table.num_columns} columns\n")
+
+    # Enable MPSN support: up to two predicates per column, MLP variant.
+    config = DuetConfig(hidden_sizes=(64, 64), epochs=4, batch_size=128,
+                        expand_coefficient=2, multi_predicate=True,
+                        max_predicates_per_column=2,
+                        mpsn=MPSNConfig(kind="mlp", hidden_size=32, num_layers=2),
+                        seed=0)
+    model = DuetModel(table, config)
+    train_queries = make_multi_predicate_workload(table, num_queries=600, seed=42)
+    DuetTrainer(model, table, train_queries, config).train()
+    estimator = DuetEstimator(model)
+
+    # A two-sided range on one column plus an equality on another.
+    age = table.column("age")
+    low, high = age.value_of(10), age.value_of(min(40, age.num_distinct - 1))
+    query = Query.from_triples([
+        ("age", ">=", low),
+        ("age", "<=", high),
+        ("sex", "=", 0),
+    ])
+    estimate = estimator.estimate(query)
+    truth = cardinality(table, query)
+    print(f"query: {query}")
+    print(f"  true cardinality = {truth}")
+    print(f"  Duet estimate    = {estimate:.1f}")
+
+    # Accuracy over a whole two-sided-range workload.
+    test_queries = make_multi_predicate_workload(table, num_queries=200, seed=7)
+    result = evaluate_estimator(estimator, test_queries, table)
+    print(f"\ntwo-sided-range workload accuracy: {result.summary}")
+
+    # The merged block-diagonal MPSN gives identical embeddings with a single
+    # matrix multiplication for all columns (the paper's inference speed-up).
+    merged = model.merged_mpsn_inference()
+    codec = model.codec
+    values, ops = codec.queries_to_code_arrays([query])
+    encodings, presence = [], []
+    for encoder in codec.encoders:
+        column_values = values[:, encoder.column_index, :]
+        column_ops = ops[:, encoder.column_index, :]
+        encodings.append(encoder.encode(column_values, column_ops))
+        presence.append((column_ops >= 0).astype(float))
+    merged_blocks = merged.forward(encodings, presence)
+    print(f"\nmerged MPSN produced {len(merged_blocks)} column embeddings in one pass "
+          f"(first block shape: {np.asarray(merged_blocks[0]).shape})")
+
+
+if __name__ == "__main__":
+    main()

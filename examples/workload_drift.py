@@ -1,0 +1,61 @@
+"""Workload drift: why hybrid beats query-driven when the workload changes.
+
+The paper's motivation for hybrid learning (§I, Problem 5): a query-driven
+estimator (MSCN) fits the training workload's distribution, so when the
+incoming queries drift away from it the accuracy collapses; Duet mostly
+learns from the data, so its random-query accuracy barely moves.
+
+Run with::
+
+    python examples/workload_drift.py
+"""
+
+from __future__ import annotations
+
+from repro.baselines import MSCNEstimator
+from repro.core import DuetConfig, DuetEstimator, DuetModel, DuetTrainer
+from repro.data import make_census
+from repro.eval import evaluate_estimator, format_table
+from repro.workload import make_inworkload, make_random_workload
+
+
+def main() -> None:
+    table = make_census(scale=0.08, seed=0)
+    print(f"table {table.name!r}: {table.num_rows} rows, {table.num_columns} columns\n")
+
+    # The training workload has temporal locality: one bounded column and a
+    # skewed number of predicates.  The drifted workload is fully random.
+    train_queries = make_inworkload(table, num_queries=800, seed=42)
+    in_workload = make_inworkload(table, num_queries=300, seed=42)
+    drifted = make_random_workload(table, num_queries=300, seed=1234)
+
+    # Query-driven baseline: learns only from the labelled training queries.
+    mscn = MSCNEstimator(table, epochs=40, seed=0).fit(train_queries)
+
+    # Hybrid Duet: learns from the data, uses the same queries as a supplement.
+    config = DuetConfig(hidden_sizes=(64, 64), epochs=5, batch_size=128,
+                        expand_coefficient=2, lambda_query=0.1, seed=0)
+    model = DuetModel(table, config)
+    DuetTrainer(model, table, train_queries, config).train()
+    duet = DuetEstimator(model)
+
+    rows = []
+    for name, estimator in (("mscn (query-driven)", mscn), ("duet (hybrid)", duet)):
+        in_result = evaluate_estimator(estimator, in_workload, table)
+        drift_result = evaluate_estimator(estimator, drifted, table)
+        degradation = drift_result.summary.median / max(in_result.summary.median, 1e-9)
+        rows.append([name, in_result.summary.median, in_result.summary.maximum,
+                     drift_result.summary.median, drift_result.summary.maximum,
+                     degradation])
+
+    print(format_table(
+        ["estimator", "InQ median", "InQ max", "drifted median", "drifted max",
+         "median degradation x"],
+        rows,
+        title="Workload drift: in-workload vs drifted (random) queries"))
+    print("\nThe query-driven model degrades much more under drift; the hybrid "
+          "model keeps its accuracy because it learns the data distribution.")
+
+
+if __name__ == "__main__":
+    main()

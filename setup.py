@@ -1,0 +1,11 @@
+"""Setuptools entry point.
+
+A ``setup.py`` is kept alongside ``pyproject.toml`` so that editable installs
+work in fully offline environments whose setuptools lacks PEP 660 support
+(``pip install -e .`` then falls back to the legacy ``setup.py develop``
+path, which needs no network access and no ``wheel`` package).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,33 @@
+"""Reproduction of "Duet: Efficient and Scalable Hybrid Neural Relation
+Understanding" (ICDE 2024).
+
+The package is organised as one sub-package per subsystem:
+
+* :mod:`repro.nn` — pure-NumPy neural-network substrate (autograd, MADE,
+  optimisers) replacing PyTorch;
+* :mod:`repro.data` — columns, tables, synthetic dataset generators;
+* :mod:`repro.workload` — predicates, queries, ground truth, generators;
+* :mod:`repro.core` — Duet itself (model, virtual-table sampler, MPSN,
+  trainer, estimator);
+* :mod:`repro.baselines` — Sampling, Indep, MHist, MSCN, DeepDB-SPN, Naru,
+  UAE comparison estimators;
+* :mod:`repro.eval` — Q-Error metrics, evaluation harness, experiment
+  drivers for every table and figure of the paper.
+
+Quickstart::
+
+    from repro import data, workload, core
+
+    table = data.make_census(scale=0.05)
+    train_queries = workload.make_inworkload(table, num_queries=500)
+    model = core.DuetModel(table, core.small_table_config(epochs=3))
+    core.DuetTrainer(model, table, train_queries).train()
+    estimator = core.DuetEstimator(model)
+    estimator.estimate(workload.Query.from_triples([("age", ">=", 30)]))
+"""
+
+from . import baselines, core, data, eval, nn, workload
+
+__version__ = "1.0.0"
+
+__all__ = ["baselines", "core", "data", "eval", "nn", "workload", "__version__"]

@@ -1,0 +1,28 @@
+"""Baseline cardinality estimators the paper compares Duet against.
+
+Traditional: :class:`SamplingEstimator`, :class:`IndependenceEstimator`,
+:class:`MHistEstimator`.  Query-driven: :class:`MSCNEstimator`.
+Data-driven: :class:`DeepDBEstimator`, :class:`NaruEstimator`.
+Hybrid: :class:`UAEEstimator`.
+"""
+
+from .base import CardinalityEstimator
+from .deepdb import DeepDBEstimator
+from .independence import IndependenceEstimator
+from .mhist import MHistEstimator
+from .mscn import MSCNEstimator
+from .naru import NaruEstimator, NaruModel
+from .sampling import SamplingEstimator
+from .uae import UAEEstimator
+
+__all__ = [
+    "CardinalityEstimator",
+    "SamplingEstimator",
+    "IndependenceEstimator",
+    "MHistEstimator",
+    "MSCNEstimator",
+    "DeepDBEstimator",
+    "NaruEstimator",
+    "NaruModel",
+    "UAEEstimator",
+]

@@ -1,0 +1,10 @@
+"""Baseline estimators share the :class:`CardinalityEstimator` interface.
+
+The interface itself lives in :mod:`repro.core.interface` (Duet implements
+it too); it is re-exported here so baseline code and user code can import it
+from either place.
+"""
+
+from ..core.interface import CardinalityEstimator
+
+__all__ = ["CardinalityEstimator"]

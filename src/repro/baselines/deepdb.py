@@ -1,0 +1,221 @@
+"""DeepDB-style sum-product network estimator (the paper's "DeepDB" baseline).
+
+DeepDB learns a Relational Sum-Product Network over the table: *product*
+nodes split the columns into groups that are (approximately) independent on
+the node's row subset, *sum* nodes split the rows into clusters, and leaves
+hold single-column histograms.  The expectation of a query's indicator
+function — its selectivity — is computed bottom-up: leaves return the
+histogram mass satisfying the predicates on their column, product nodes
+multiply, sum nodes average with their cluster weights.
+
+Structure learning here follows the standard SPN recipe:
+
+* columns are grouped by thresholding pairwise Cramér's V (connected
+  components of the dependency graph) — the conditional-independence
+  assumption the paper points out as DeepDB's accuracy limiter;
+* rows are split with a lightweight k-means (k = 2) on normalised codes;
+* recursion stops at a minimum row count, where a product of leaves is
+  emitted.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..data.statistics import cramers_v
+from ..data.table import Table
+from ..workload.query import Query
+from .base import CardinalityEstimator
+
+__all__ = ["DeepDBEstimator"]
+
+
+# ----------------------------------------------------------------------
+# SPN node types
+# ----------------------------------------------------------------------
+
+@dataclass
+class _Leaf:
+    """Single-column histogram leaf."""
+
+    column_index: int
+    frequencies: np.ndarray  # frequency per code, conditioned on this node's rows
+
+    def probability(self, masks: dict[int, np.ndarray]) -> float:
+        mask = masks.get(self.column_index)
+        if mask is None:
+            return 1.0
+        return float((self.frequencies * mask).sum())
+
+    def node_count(self) -> int:
+        return 1
+
+
+@dataclass
+class _Product:
+    """Independent column groups."""
+
+    children: list
+
+    def probability(self, masks: dict[int, np.ndarray]) -> float:
+        result = 1.0
+        for child in self.children:
+            result *= child.probability(masks)
+            if result == 0.0:
+                break
+        return result
+
+    def node_count(self) -> int:
+        return 1 + sum(child.node_count() for child in self.children)
+
+
+@dataclass
+class _Sum:
+    """Row clusters with mixture weights."""
+
+    weights: list[float]
+    children: list
+
+    def probability(self, masks: dict[int, np.ndarray]) -> float:
+        return float(sum(weight * child.probability(masks)
+                         for weight, child in zip(self.weights, self.children)))
+
+    def node_count(self) -> int:
+        return 1 + sum(child.node_count() for child in self.children)
+
+
+# ----------------------------------------------------------------------
+
+class DeepDBEstimator(CardinalityEstimator):
+    """Sum-product-network estimator in the spirit of DeepDB's RSPN."""
+
+    name = "deepdb"
+
+    def __init__(self, table: Table, min_instances: int = 256,
+                 independence_threshold: float = 0.12, max_depth: int = 12,
+                 seed: int = 0) -> None:
+        super().__init__(table)
+        if min_instances < 2:
+            raise ValueError("min_instances must be at least 2")
+        self.min_instances = min_instances
+        self.independence_threshold = independence_threshold
+        self.max_depth = max_depth
+        self._rng = np.random.default_rng(seed)
+        self._codes = table.code_matrix()
+        self._cardinalities = table.cardinalities
+        rows = np.arange(table.num_rows)
+        columns = list(range(table.num_columns))
+        self.root = self._build(rows, columns, depth=0)
+
+    # ------------------------------------------------------------------
+    # Structure learning
+    # ------------------------------------------------------------------
+    def _build(self, rows: np.ndarray, columns: list[int], depth: int):
+        if len(columns) == 1:
+            return self._leaf(rows, columns[0])
+        if rows.size <= self.min_instances or depth >= self.max_depth:
+            return _Product([self._leaf(rows, column) for column in columns])
+
+        groups = self._independent_groups(rows, columns)
+        if len(groups) > 1:
+            children = [self._build(rows, group, depth + 1) for group in groups]
+            return _Product(children)
+
+        clusters = self._cluster_rows(rows, columns)
+        if clusters is None:
+            return _Product([self._leaf(rows, column) for column in columns])
+        children = [self._build(cluster, columns, depth + 1) for cluster in clusters]
+        weights = [cluster.size / rows.size for cluster in clusters]
+        return _Sum(weights, children)
+
+    def _leaf(self, rows: np.ndarray, column_index: int) -> _Leaf:
+        codes = self._codes[rows, column_index]
+        counts = np.bincount(codes, minlength=self._cardinalities[column_index])
+        frequencies = counts / max(rows.size, 1)
+        return _Leaf(column_index, frequencies)
+
+    def _independent_groups(self, rows: np.ndarray, columns: list[int]) -> list[list[int]]:
+        """Connected components of the pairwise-dependency graph."""
+        sample = rows
+        if rows.size > 3_000:
+            sample = self._rng.choice(rows, size=3_000, replace=False)
+        adjacency = {column: set() for column in columns}
+        for position, first in enumerate(columns):
+            for second in columns[position + 1:]:
+                dependency = cramers_v(self._codes[sample, first], self._codes[sample, second])
+                if dependency >= self.independence_threshold:
+                    adjacency[first].add(second)
+                    adjacency[second].add(first)
+        groups: list[list[int]] = []
+        unvisited = set(columns)
+        while unvisited:
+            start = min(unvisited)
+            component = []
+            frontier = [start]
+            while frontier:
+                node = frontier.pop()
+                if node not in unvisited:
+                    continue
+                unvisited.remove(node)
+                component.append(node)
+                frontier.extend(adjacency[node] & unvisited)
+            groups.append(sorted(component))
+        return groups
+
+    def _cluster_rows(self, rows: np.ndarray, columns: list[int],
+                      iterations: int = 8) -> list[np.ndarray] | None:
+        """Two-way k-means on normalised codes; None when degenerate."""
+        scales = np.array([max(self._cardinalities[column] - 1, 1) for column in columns],
+                          dtype=np.float64)
+        points = self._codes[np.ix_(rows, columns)] / scales
+        first_center = points[self._rng.integers(0, points.shape[0])]
+        distances = np.linalg.norm(points - first_center, axis=1)
+        if distances.max() == 0:
+            return None
+        second_center = points[int(np.argmax(distances))]
+        centers = np.stack([first_center, second_center])
+        assignment = np.zeros(points.shape[0], dtype=np.int64)
+        for _ in range(iterations):
+            distances = np.linalg.norm(points[:, None, :] - centers[None, :, :], axis=2)
+            assignment = np.argmin(distances, axis=1)
+            for cluster in range(2):
+                member = points[assignment == cluster]
+                if member.size:
+                    centers[cluster] = member.mean(axis=0)
+        left = rows[assignment == 0]
+        right = rows[assignment == 1]
+        if left.size == 0 or right.size == 0:
+            return None
+        return [left, right]
+
+    # ------------------------------------------------------------------
+    # Estimation
+    # ------------------------------------------------------------------
+    def estimate(self, query: Query) -> float:
+        query.validate(self.table)
+        masks: dict[int, np.ndarray] = {}
+        for predicate in query.predicates:
+            column_index = self.table.column_index(predicate.column)
+            column = self.table.column(column_index)
+            mask = predicate.valid_value_mask(column).astype(np.float64)
+            if column_index in masks:
+                masks[column_index] = masks[column_index] * mask
+            else:
+                masks[column_index] = mask
+        selectivity = self.root.probability(masks)
+        return float(np.clip(selectivity, 0.0, 1.0)) * self.table.num_rows
+
+    # ------------------------------------------------------------------
+    def num_nodes(self) -> int:
+        return self.root.node_count()
+
+    def size_bytes(self) -> int:
+        def leaf_bytes(node) -> int:
+            if isinstance(node, _Leaf):
+                return node.frequencies.nbytes
+            if isinstance(node, (_Product, _Sum)):
+                return sum(leaf_bytes(child) for child in node.children) + 16
+            return 0
+        return leaf_bytes(self.root)

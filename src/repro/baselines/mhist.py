@@ -1,0 +1,144 @@
+"""Multi-dimensional histogram estimator (the paper's "MHist" baseline).
+
+This follows the MHIST/MaxDiff family (Poosala & Ioannidis): the data space
+is recursively partitioned into hyper-rectangular buckets.  At every step
+the most populated bucket is split along its "most critical" dimension —
+the one whose marginal distribution inside the bucket deviates most from
+uniform (largest frequency gap), split at the median so both halves keep
+roughly half the rows.  Each bucket stores its tuple count and per-dimension
+code bounds; inside a bucket, attribute values are assumed independent and
+uniformly spread over the bucket's extent.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..data.table import Table
+from ..workload.query import Query
+from .base import CardinalityEstimator
+
+__all__ = ["MHistEstimator"]
+
+
+@dataclass
+class _Bucket:
+    """One hyper-rectangular bucket: row indices plus per-dimension bounds."""
+
+    rows: np.ndarray           # indices into the code matrix
+    lower: np.ndarray          # inclusive per-dimension lower code bound
+    upper: np.ndarray          # inclusive per-dimension upper code bound
+
+    @property
+    def count(self) -> int:
+        return int(self.rows.size)
+
+
+class MHistEstimator(CardinalityEstimator):
+    """MaxDiff-style multi-dimensional histogram."""
+
+    name = "mhist"
+
+    def __init__(self, table: Table, num_buckets: int = 200, seed: int = 0) -> None:
+        super().__init__(table)
+        if num_buckets < 1:
+            raise ValueError("num_buckets must be at least 1")
+        self.num_buckets = num_buckets
+        self._codes = table.code_matrix()
+        self._buckets = self._build()
+
+    # ------------------------------------------------------------------
+    def _build(self) -> list[_Bucket]:
+        num_columns = self.table.num_columns
+        initial = _Bucket(
+            rows=np.arange(self.table.num_rows),
+            lower=np.zeros(num_columns, dtype=np.int64),
+            upper=np.array([column.num_distinct - 1 for column in self.table.columns],
+                           dtype=np.int64),
+        )
+        buckets = [initial]
+        while len(buckets) < self.num_buckets:
+            candidate_index = int(np.argmax([bucket.count for bucket in buckets]))
+            candidate = buckets[candidate_index]
+            split = self._split(candidate)
+            if split is None:
+                break
+            buckets.pop(candidate_index)
+            buckets.extend(split)
+        return buckets
+
+    def _split(self, bucket: _Bucket) -> list[_Bucket] | None:
+        """Split along the most critical dimension at its median code."""
+        if bucket.count <= 1:
+            return None
+        codes = self._codes[bucket.rows]
+        best_dimension = -1
+        best_score = -1.0
+        best_threshold = 0
+        for dimension in range(codes.shape[1]):
+            low, high = bucket.lower[dimension], bucket.upper[dimension]
+            if high <= low:
+                continue
+            column_codes = codes[:, dimension]
+            counts = np.bincount(column_codes - low, minlength=high - low + 1)
+            if (counts > 0).sum() < 2:
+                continue
+            # MaxDiff criterion: the largest gap between adjacent frequencies.
+            score = float(np.abs(np.diff(counts)).max())
+            if score > best_score:
+                median = int(np.median(column_codes))
+                threshold = min(median, high - 1)
+                if threshold < low:
+                    threshold = low
+                best_dimension, best_score, best_threshold = dimension, score, threshold
+        if best_dimension < 0:
+            return None
+        column_codes = codes[:, best_dimension]
+        left_rows = bucket.rows[column_codes <= best_threshold]
+        right_rows = bucket.rows[column_codes > best_threshold]
+        if left_rows.size == 0 or right_rows.size == 0:
+            return None
+        left = _Bucket(rows=left_rows, lower=bucket.lower.copy(), upper=bucket.upper.copy())
+        right = _Bucket(rows=right_rows, lower=bucket.lower.copy(), upper=bucket.upper.copy())
+        left.upper[best_dimension] = best_threshold
+        right.lower[best_dimension] = best_threshold + 1
+        return [left, right]
+
+    # ------------------------------------------------------------------
+    def estimate(self, query: Query) -> float:
+        query.validate(self.table)
+        intervals = self._query_intervals(query)
+        total = 0.0
+        for bucket in self._buckets:
+            fraction = 1.0
+            for column_index, (query_low, query_high) in intervals.items():
+                bucket_low = bucket.lower[column_index]
+                bucket_high = bucket.upper[column_index]
+                overlap_low = max(query_low, bucket_low)
+                overlap_high = min(query_high, bucket_high)
+                if overlap_low > overlap_high:
+                    fraction = 0.0
+                    break
+                extent = bucket_high - bucket_low + 1
+                fraction *= (overlap_high - overlap_low + 1) / extent
+            total += fraction * bucket.count
+        return float(total)
+
+    def _query_intervals(self, query: Query) -> dict[int, tuple[int, int]]:
+        """Inclusive code interval per constrained column (intersected)."""
+        intervals: dict[int, tuple[int, int]] = {}
+        for predicate in query.predicates:
+            column_index = self.table.column_index(predicate.column)
+            column = self.table.column(column_index)
+            low, high = predicate.code_interval(column)
+            if column_index in intervals:
+                existing_low, existing_high = intervals[column_index]
+                low, high = max(low, existing_low), min(high, existing_high)
+            intervals[column_index] = (low, high)
+        return intervals
+
+    def size_bytes(self) -> int:
+        per_bucket = 8 + 2 * 8 * self.table.num_columns  # count + bounds
+        return len(self._buckets) * per_bucket

@@ -1,0 +1,52 @@
+"""Uniform-sampling estimator (the paper's "Sampling" baseline).
+
+A ``p%`` uniform sample of the table is kept in memory; a query is answered
+by evaluating its predicates on the sample and scaling the count up by the
+sampling rate.  Cheap, unbiased, but noisy for selective queries — exactly
+the trade-off the paper's Table II shows.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..data.table import Table
+from ..workload.query import Query
+from .base import CardinalityEstimator
+
+__all__ = ["SamplingEstimator"]
+
+
+class SamplingEstimator(CardinalityEstimator):
+    """Estimate by scanning a uniform row sample."""
+
+    name = "sampling"
+
+    def __init__(self, table: Table, sample_fraction: float = 0.01,
+                 seed: int = 0) -> None:
+        super().__init__(table)
+        if not 0 < sample_fraction <= 1:
+            raise ValueError("sample_fraction must be in (0, 1]")
+        self.sample_fraction = sample_fraction
+        rng = np.random.default_rng(seed)
+        sample_size = max(1, int(round(table.num_rows * sample_fraction)))
+        indices = rng.choice(table.num_rows, size=sample_size, replace=False)
+        self._sample = table.code_matrix()[indices]
+
+    # ------------------------------------------------------------------
+    @property
+    def sample_size(self) -> int:
+        return self._sample.shape[0]
+
+    def estimate(self, query: Query) -> float:
+        query.validate(self.table)
+        mask = np.ones(self.sample_size, dtype=bool)
+        for predicate in query.predicates:
+            column_index = self.table.column_index(predicate.column)
+            column = self.table.column(column_index)
+            mask &= predicate.evaluate_codes(column, self._sample[:, column_index])
+        scale = self.table.num_rows / self.sample_size
+        return float(mask.sum()) * scale
+
+    def size_bytes(self) -> int:
+        return int(self._sample.nbytes)

@@ -1,0 +1,96 @@
+"""Configuration of the Duet model, sampler and trainer."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["DuetConfig", "MPSNConfig", "dmv_config", "small_table_config"]
+
+_VALID_VALUE_ENCODINGS = ("binary", "onehot", "embedding")
+_VALID_MPSN_KINDS = ("mlp", "rnn", "recursive")
+
+
+@dataclass(frozen=True)
+class MPSNConfig:
+    """Configuration of the Multiple Predicates Supporting Network (§IV-F).
+
+    One MPSN per column embeds a variable number of predicates into the
+    fixed-width input block that column owns in the MADE input.
+    """
+
+    kind: str = "mlp"
+    hidden_size: int = 64
+    num_layers: int = 2
+    merged: bool = True  # merged block-diagonal acceleration for the MLP kind
+
+    def __post_init__(self) -> None:
+        if self.kind not in _VALID_MPSN_KINDS:
+            raise ValueError(f"unknown MPSN kind {self.kind!r}; "
+                             f"choose from {_VALID_MPSN_KINDS}")
+        if self.hidden_size <= 0 or self.num_layers <= 0:
+            raise ValueError("MPSN hidden_size and num_layers must be positive")
+
+
+@dataclass(frozen=True)
+class DuetConfig:
+    """All knobs of Duet in one place.
+
+    Defaults follow the paper: binary value encoding with an embedding
+    fallback for very large domains, MADE hidden sizes chosen per dataset,
+    expand coefficient ``mu = 4``, trade-off coefficient ``lambda = 0.1``.
+    """
+
+    # --- model architecture ------------------------------------------------
+    hidden_sizes: tuple[int, ...] = (128, 128)
+    residual: bool = False
+    value_encoding: str = "binary"
+    embedding_threshold: int = 512     # domains larger than this use an embedding
+    embedding_dim: int = 16
+    seed: int = 0
+
+    # --- multiple predicates per column -------------------------------------
+    multi_predicate: bool = False
+    max_predicates_per_column: int = 2
+    mpsn: MPSNConfig = field(default_factory=MPSNConfig)
+
+    # --- Algorithm 1 (virtual-table sampling) -------------------------------
+    expand_coefficient: int = 4        # the paper's mu
+    wildcard_probability: float = 0.15  # fraction of columns left unconstrained
+
+    # --- training ------------------------------------------------------------
+    learning_rate: float = 2e-3
+    batch_size: int = 256
+    epochs: int = 10
+    grad_clip: float = 10.0
+    # hybrid loss L = L_data + lambda * log2(QError + 1)
+    lambda_query: float = 0.1
+    query_batch_size: int = 64
+
+    def __post_init__(self) -> None:
+        if self.value_encoding not in _VALID_VALUE_ENCODINGS:
+            raise ValueError(f"unknown value encoding {self.value_encoding!r}; "
+                             f"choose from {_VALID_VALUE_ENCODINGS}")
+        if self.expand_coefficient < 1:
+            raise ValueError("expand_coefficient (mu) must be >= 1")
+        if not 0.0 <= self.wildcard_probability < 1.0:
+            raise ValueError("wildcard_probability must be in [0, 1)")
+        if self.lambda_query < 0:
+            raise ValueError("lambda_query must be non-negative")
+        if self.batch_size <= 0 or self.epochs <= 0:
+            raise ValueError("batch_size and epochs must be positive")
+        if not self.hidden_sizes:
+            raise ValueError("at least one hidden layer is required")
+
+
+def dmv_config(**overrides) -> DuetConfig:
+    """The paper's DMV architecture: MADE with 512-256-512-128-1024 hidden units."""
+    defaults = dict(hidden_sizes=(512, 256, 512, 128, 1024), residual=False)
+    defaults.update(overrides)
+    return DuetConfig(**defaults)
+
+
+def small_table_config(**overrides) -> DuetConfig:
+    """The paper's Kddcup98 / Census architecture: 2-layer ResMADE, 128 units."""
+    defaults = dict(hidden_sizes=(128, 128), residual=True)
+    defaults.update(overrides)
+    return DuetConfig(**defaults)

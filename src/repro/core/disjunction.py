@@ -1,0 +1,79 @@
+"""Disjunctive (OR) query support via inclusion-exclusion.
+
+The paper (§III, "Supported Queries") notes that a disjunction between
+predicates can be estimated by converting it into conjunctions.  This module
+implements that conversion for any :class:`CardinalityEstimator`: a query in
+disjunctive normal form — an OR over conjunctive queries — is estimated with
+the inclusion-exclusion principle,
+
+``card(q1 OR q2 OR ...) = sum card(qi) - sum card(qi AND qj) + ...``
+
+where each intersection is itself a conjunctive query (the concatenation of
+the disjuncts' predicates) and is estimated by the underlying estimator.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import Sequence
+
+from ..workload.query import Query
+from .interface import CardinalityEstimator
+
+__all__ = ["conjoin", "estimate_disjunction"]
+
+
+def conjoin(*queries: Query) -> Query:
+    """Conjunction of several conjunctive queries (concatenate predicates)."""
+    predicates = []
+    for query in queries:
+        predicates.extend(query.predicates)
+    return Query(predicates)
+
+
+def estimate_disjunction(estimator: CardinalityEstimator,
+                         disjuncts: Sequence[Query],
+                         max_terms: int | None = None) -> float:
+    """Estimate ``card(d1 OR d2 OR ...)`` with inclusion-exclusion.
+
+    Parameters
+    ----------
+    estimator:
+        Any trained cardinality estimator (Duet, Naru, Indep, ...).
+    disjuncts:
+        The conjunctive branches of the DNF query.  Each must be a valid
+        query for the estimator's table.
+    max_terms:
+        Optional cap on the inclusion-exclusion order.  The exact expansion
+        needs ``2^k - 1`` estimates for ``k`` disjuncts; capping at 2 gives
+        the classic Bonferroni-style upper/lower sandwich truncated at
+        pairwise intersections, which is usually accurate enough and keeps
+        the cost quadratic.
+
+    Returns
+    -------
+    The estimated cardinality, clamped to ``[0, |T|]``.
+
+    Notes
+    -----
+    Intersection terms concatenate the disjuncts' predicates, so two
+    disjuncts constraining the same column produce a query with several
+    predicates on that column.  A Duet model must therefore be built with
+    ``multi_predicate=True`` (MPSN support) when the disjuncts overlap on
+    columns; estimators without that restriction (Indep, Sampling, Naru,
+    DeepDB, ...) accept any combination.
+    """
+    disjuncts = list(disjuncts)
+    if not disjuncts:
+        raise ValueError("at least one disjunct is required")
+    if len(disjuncts) == 1:
+        return float(estimator.estimate(disjuncts[0]))
+
+    order_cap = len(disjuncts) if max_terms is None else max(1, min(max_terms, len(disjuncts)))
+    total = 0.0
+    for order in range(1, order_cap + 1):
+        sign = 1.0 if order % 2 == 1 else -1.0
+        for combo in combinations(disjuncts, order):
+            intersection = conjoin(*combo) if order > 1 else combo[0]
+            total += sign * float(estimator.estimate(intersection))
+    return float(min(max(total, 0.0), estimator.table.num_rows))

@@ -1,0 +1,225 @@
+"""Predicate encoding for Duet (§IV-C "Encoding" and §IV-F of the paper).
+
+Each column owns one *predicate block* in the model input.  A block encodes
+up to ``P`` predicates on that column, each predicate being:
+
+* a one-hot vector over the five operators ``=, >, <, >=, <=`` plus one
+  leading *presence* bit (all zeros = wildcard, i.e. the column is not
+  constrained — the paper's wildcard-skipping), and
+* an encoding of the predicate literal's dictionary code — ``binary``
+  (``ceil(log2(NDV))`` bits, the paper default), ``onehot`` (NDV bits), or
+  ``embedding`` for very large domains (the value part is then looked up in
+  a learned embedding owned by the model).
+
+Queries are first translated into *canonical code-space predicates*: the raw
+literal of each predicate is mapped onto the column's dictionary through the
+inclusive code interval it selects, so that training (Algorithm 1 samples
+directly in code space) and inference see exactly the same representation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..data.table import Table
+from ..workload.predicates import Operator, Predicate
+from ..workload.query import Query
+from .config import DuetConfig
+
+__all__ = [
+    "NUM_OPERATORS",
+    "OPERATOR_FEATURE_WIDTH",
+    "binary_width",
+    "resolve_value_strategy",
+    "ColumnPredicateEncoder",
+    "CanonicalPredicate",
+    "QueryCodec",
+]
+
+#: number of predicate operators supported (=, >, <, >=, <=)
+NUM_OPERATORS = 5
+#: presence bit + operator one-hot
+OPERATOR_FEATURE_WIDTH = 1 + NUM_OPERATORS
+
+_OP_EQ = Operator.EQ.index
+_OP_GE = Operator.GE.index
+_OP_LE = Operator.LE.index
+
+
+def binary_width(num_distinct: int) -> int:
+    """Number of bits of the binary code encoding for a domain of ``num_distinct``."""
+    if num_distinct <= 1:
+        return 1
+    return int(np.ceil(np.log2(num_distinct)))
+
+
+def resolve_value_strategy(num_distinct: int, config: DuetConfig) -> str:
+    """Pick the literal encoding for a column.
+
+    Follows the paper: the configured strategy is used except for very large
+    domains, which fall back to a learned embedding.
+    """
+    if config.value_encoding == "embedding":
+        return "embedding"
+    if num_distinct > config.embedding_threshold:
+        return "embedding"
+    return config.value_encoding
+
+
+@dataclass(frozen=True)
+class CanonicalPredicate:
+    """A predicate expressed in code space: ``(operator index, literal code)``."""
+
+    op_index: int
+    code: int
+
+
+class ColumnPredicateEncoder:
+    """Encodes the predicates of one column into its fixed-width block."""
+
+    def __init__(self, column_index: int, num_distinct: int, config: DuetConfig) -> None:
+        self.column_index = column_index
+        self.num_distinct = num_distinct
+        self.strategy = resolve_value_strategy(num_distinct, config)
+        if self.strategy == "binary":
+            self.value_width = binary_width(num_distinct)
+        elif self.strategy == "onehot":
+            self.value_width = num_distinct
+        else:  # embedding — the value part is produced by the model
+            self.value_width = config.embedding_dim
+        #: width of one encoded predicate (operator features + value features)
+        self.predicate_width = OPERATOR_FEATURE_WIDTH + self.value_width
+
+    # ------------------------------------------------------------------
+    @property
+    def needs_embedding(self) -> bool:
+        return self.strategy == "embedding"
+
+    # ------------------------------------------------------------------
+    def encode_operator_features(self, ops: np.ndarray) -> np.ndarray:
+        """Presence bit + operator one-hot; ``op == -1`` means wildcard."""
+        ops = np.asarray(ops, dtype=np.int64)
+        features = np.zeros(ops.shape + (OPERATOR_FEATURE_WIDTH,), dtype=np.float64)
+        present = ops >= 0
+        features[..., 0] = present
+        clipped = np.where(present, ops, 0)
+        one_hot = np.eye(NUM_OPERATORS)[clipped] * present[..., None]
+        features[..., 1:] = one_hot
+        return features
+
+    def encode_value_features(self, codes: np.ndarray) -> np.ndarray:
+        """Literal encoding for non-embedding strategies; ``code == -1`` -> zeros."""
+        if self.needs_embedding:
+            raise RuntimeError("embedding columns are encoded by the model, "
+                               "not by the static encoder")
+        codes = np.asarray(codes, dtype=np.int64)
+        present = codes >= 0
+        clipped = np.where(present, codes, 0)
+        if self.strategy == "binary":
+            bits = ((clipped[..., None] >> np.arange(self.value_width)) & 1)
+            return bits.astype(np.float64) * present[..., None]
+        one_hot = np.eye(self.num_distinct)[clipped]
+        return one_hot * present[..., None]
+
+    def encode(self, codes: np.ndarray, ops: np.ndarray) -> np.ndarray:
+        """Full per-predicate encoding ``(..., predicate_width)`` (non-embedding)."""
+        operator_features = self.encode_operator_features(ops)
+        value_features = self.encode_value_features(codes)
+        return np.concatenate([operator_features, value_features], axis=-1)
+
+
+class QueryCodec:
+    """Translates :class:`Query` objects into code-space arrays and masks."""
+
+    def __init__(self, table: Table, config: DuetConfig) -> None:
+        self.table = table
+        self.config = config
+        self.max_predicates = (config.max_predicates_per_column
+                               if config.multi_predicate else 1)
+        self.encoders = [
+            ColumnPredicateEncoder(index, column.num_distinct, config)
+            for index, column in enumerate(table.columns)
+        ]
+
+    # ------------------------------------------------------------------
+    def canonicalize(self, predicate: Predicate) -> CanonicalPredicate | None:
+        """Map one raw-value predicate to code space.
+
+        Returns ``None`` when the predicate does not constrain the column at
+        all (its code interval covers the whole domain).  Empty predicates
+        are kept (the zero-out mask then produces a zero factor).
+        """
+        column = self.table.column(predicate.column)
+        low, high = predicate.code_interval(column)
+        last = column.num_distinct - 1
+        if low > high:
+            # Unsatisfiable predicate: keep an equality on the nearest code so
+            # the model still sees a constraint; the mask makes the factor 0.
+            return CanonicalPredicate(_OP_EQ, int(np.clip(low, 0, last)))
+        if low == 0 and high == last:
+            return None
+        if low == high:
+            return CanonicalPredicate(_OP_EQ, low)
+        if low == 0:
+            return CanonicalPredicate(_OP_LE, high)
+        if high == last:
+            return CanonicalPredicate(_OP_GE, low)
+        # Two-sided intervals only arise from multiple predicates per column,
+        # each of which is canonicalised separately, so this branch is not
+        # reachable from a single predicate; guard anyway.
+        return CanonicalPredicate(_OP_GE, low)
+
+    def canonical_predicates(self, query: Query) -> dict[int, list[CanonicalPredicate]]:
+        """Canonical predicates of a query, grouped by column index."""
+        grouped: dict[int, list[CanonicalPredicate]] = {}
+        for predicate in query.predicates:
+            column_index = self.table.column_index(predicate.column)
+            canonical = self.canonicalize(predicate)
+            if canonical is None:
+                continue
+            grouped.setdefault(column_index, []).append(canonical)
+        for column_index, predicates in grouped.items():
+            if len(predicates) > self.max_predicates:
+                raise ValueError(
+                    f"query has {len(predicates)} predicates on column "
+                    f"{self.table.column(column_index).name!r} but the model was "
+                    f"configured for at most {self.max_predicates}; "
+                    f"enable multi_predicate / raise max_predicates_per_column")
+        return grouped
+
+    # ------------------------------------------------------------------
+    def queries_to_code_arrays(self, queries: list[Query]
+                               ) -> tuple[np.ndarray, np.ndarray]:
+        """Batch of queries -> ``(values, ops)`` arrays.
+
+        Both arrays have shape ``(batch, num_columns, max_predicates)`` and
+        use ``-1`` for "no predicate in this slot".
+        """
+        batch = len(queries)
+        shape = (batch, self.table.num_columns, self.max_predicates)
+        values = np.full(shape, -1, dtype=np.int64)
+        ops = np.full(shape, -1, dtype=np.int64)
+        for query_index, query in enumerate(queries):
+            for column_index, predicates in self.canonical_predicates(query).items():
+                for slot, canonical in enumerate(predicates):
+                    values[query_index, column_index, slot] = canonical.code
+                    ops[query_index, column_index, slot] = canonical.op_index
+        return values, ops
+
+    def zero_out_masks(self, queries: list[Query]) -> list[np.ndarray]:
+        """Per-column valid-value masks ``Pred_i(R_i, v_i)`` for a query batch.
+
+        Element ``[column][query, code]`` is 1 when the code satisfies every
+        predicate the query places on the column (1 everywhere when the
+        column is unconstrained, so unconstrained factors equal 1).
+        """
+        masks = [np.ones((len(queries), column.num_distinct), dtype=np.float64)
+                 for column in self.table.columns]
+        for query_index, query in enumerate(queries):
+            for predicate in query.predicates:
+                column_index = self.table.column_index(predicate.column)
+                column = self.table.column(column_index)
+                masks[column_index][query_index] *= predicate.valid_value_mask(column)
+        return masks

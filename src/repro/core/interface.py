@@ -1,0 +1,59 @@
+"""Common interface implemented by every cardinality estimator in this repo.
+
+Duet, the learned baselines (Naru, UAE, MSCN, DeepDB) and the traditional
+baselines (Sampling, Indep, MHist) all implement :class:`CardinalityEstimator`
+so the evaluation harness and the benchmark scripts can treat them uniformly.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Sequence
+
+import numpy as np
+
+from ..data.table import Table
+from ..workload.query import Query
+
+__all__ = ["CardinalityEstimator"]
+
+
+class CardinalityEstimator(abc.ABC):
+    """Abstract base class of all estimators.
+
+    Subclasses estimate the cardinality of conjunctive selection queries on
+    the single table they were built/trained on.
+    """
+
+    #: human-readable name used in result tables
+    name: str = "estimator"
+
+    def __init__(self, table: Table) -> None:
+        self.table = table
+
+    # ------------------------------------------------------------------
+    @abc.abstractmethod
+    def estimate(self, query: Query) -> float:
+        """Estimated number of qualifying tuples (never below 0)."""
+
+    def estimate_batch(self, queries: Sequence[Query]) -> np.ndarray:
+        """Estimate a batch of queries; subclasses may vectorise this."""
+        return np.array([self.estimate(query) for query in queries], dtype=np.float64)
+
+    # ------------------------------------------------------------------
+    def estimate_selectivity(self, query: Query) -> float:
+        """Estimated selectivity in [0, 1]."""
+        return self.estimate(query) / max(self.table.num_rows, 1)
+
+    def size_bytes(self) -> int:
+        """Approximate size of the estimator's state (paper's Size column)."""
+        return 0
+
+    @property
+    def is_deterministic(self) -> bool:
+        """Whether repeated estimations of the same query give the same answer.
+
+        Duet is deterministic by construction (no sampling at inference);
+        Naru/UAE are not (Problem 4 in the paper).
+        """
+        return True

@@ -1,0 +1,207 @@
+"""Multiple Predicates Supporting Networks (MPSN, §IV-F of the paper).
+
+A query may place several predicates on one column (``age >= 20 AND
+age <= 30``).  The MADE input block of a column has a fixed width, so the
+variable-length list of predicate encodings must be embedded into that fixed
+width.  The paper proposes three candidate networks and picks the MLP one
+for efficiency:
+
+* ``MLPMPSN`` — each predicate is embedded by a small MLP, the embeddings
+  are summed (order-irrelevant, the paper's preferred property);
+* ``RNNMPSN`` — an LSTM consumes the predicates, a fully connected layer
+  maps each step output, and the mapped outputs are summed;
+* ``RecursiveMPSN`` — ``out = MLP(encoding_j || out)``, folding predicates
+  one by one.
+
+The paper also describes an inference-time acceleration that merges all
+per-column MLP MPSNs into a single block-diagonal network so one matrix
+multiplication serves all columns; :class:`MergedMLPInference` implements it
+and the tests check it is numerically identical to the per-column networks.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .. import nn
+from ..nn import Tensor
+from .config import MPSNConfig
+
+__all__ = ["MLPMPSN", "RNNMPSN", "RecursiveMPSN", "build_mpsn", "MergedMLPInference"]
+
+
+class _BaseMPSN(nn.Module):
+    """Common interface: embed ``(batch, slots, width)`` predicates to ``(batch, out)``."""
+
+    def __init__(self, input_width: int, output_width: int) -> None:
+        super().__init__()
+        self.input_width = input_width
+        self.output_width = output_width
+
+    def forward(self, predicate_encodings: Tensor, presence: np.ndarray) -> Tensor:
+        raise NotImplementedError
+
+    @staticmethod
+    def _presence_weights(presence: np.ndarray) -> Tensor:
+        """Presence mask as a ``(batch, slots, 1)`` constant tensor."""
+        presence = np.asarray(presence, dtype=np.float64)
+        return Tensor(presence[..., None])
+
+
+class MLPMPSN(_BaseMPSN):
+    """Per-predicate MLP followed by a sum over the predicate slots."""
+
+    def __init__(self, input_width: int, output_width: int, config: MPSNConfig,
+                 rng: np.random.Generator | None = None) -> None:
+        super().__init__(input_width, output_width)
+        layers: list[nn.Module] = []
+        width = input_width
+        for _ in range(config.num_layers):
+            layers.append(nn.Linear(width, config.hidden_size, rng=rng))
+            layers.append(nn.ReLU())
+            width = config.hidden_size
+        layers.append(nn.Linear(width, output_width, rng=rng))
+        self.network = nn.Sequential(*layers)
+
+    def forward(self, predicate_encodings: Tensor, presence: np.ndarray) -> Tensor:
+        embedded = self.network(predicate_encodings)
+        weighted = embedded * self._presence_weights(presence)
+        return weighted.sum(axis=1)
+
+
+class RNNMPSN(_BaseMPSN):
+    """LSTM over the predicate slots; per-step outputs are mapped and summed."""
+
+    def __init__(self, input_width: int, output_width: int, config: MPSNConfig,
+                 rng: np.random.Generator | None = None) -> None:
+        super().__init__(input_width, output_width)
+        self.lstm = nn.LSTM(input_width, config.hidden_size,
+                            num_layers=config.num_layers, rng=rng)
+        self.head = nn.Linear(config.hidden_size, output_width, rng=rng)
+
+    def forward(self, predicate_encodings: Tensor, presence: np.ndarray) -> Tensor:
+        slots = predicate_encodings.shape[1]
+        sequence = [predicate_encodings[:, slot, :] for slot in range(slots)]
+        outputs = self.lstm(sequence)
+        presence = np.asarray(presence, dtype=np.float64)
+        total: Tensor | None = None
+        for slot, output in enumerate(outputs):
+            mapped = self.head(output) * Tensor(presence[:, slot:slot + 1])
+            total = mapped if total is None else total + mapped
+        return total
+
+
+class RecursiveMPSN(_BaseMPSN):
+    """Recursive fold: ``out = MLP(encoding_slot || out)`` starting from zeros."""
+
+    def __init__(self, input_width: int, output_width: int, config: MPSNConfig,
+                 rng: np.random.Generator | None = None) -> None:
+        super().__init__(input_width, output_width)
+        layers: list[nn.Module] = []
+        width = input_width + output_width
+        for _ in range(config.num_layers):
+            layers.append(nn.Linear(width, config.hidden_size, rng=rng))
+            layers.append(nn.ReLU())
+            width = config.hidden_size
+        layers.append(nn.Linear(width, output_width, rng=rng))
+        self.network = nn.Sequential(*layers)
+
+    def forward(self, predicate_encodings: Tensor, presence: np.ndarray) -> Tensor:
+        batch = predicate_encodings.shape[0]
+        slots = predicate_encodings.shape[1]
+        presence = np.asarray(presence, dtype=np.float64)
+        state = Tensor(np.zeros((batch, self.output_width)))
+        for slot in range(slots):
+            step_input = Tensor.concat(
+                [predicate_encodings[:, slot, :], state], axis=-1)
+            candidate = self.network(step_input)
+            keep = Tensor(presence[:, slot:slot + 1])
+            # Slots without a predicate leave the state untouched.
+            state = candidate * keep + state * (1.0 - keep)
+        return state
+
+
+def build_mpsn(input_width: int, output_width: int, config: MPSNConfig,
+               rng: np.random.Generator | None = None) -> _BaseMPSN:
+    """Factory selecting the MPSN variant named in the configuration."""
+    if config.kind == "mlp":
+        return MLPMPSN(input_width, output_width, config, rng=rng)
+    if config.kind == "rnn":
+        return RNNMPSN(input_width, output_width, config, rng=rng)
+    if config.kind == "recursive":
+        return RecursiveMPSN(input_width, output_width, config, rng=rng)
+    raise ValueError(f"unknown MPSN kind {config.kind!r}")
+
+
+class MergedMLPInference:
+    """Inference-time acceleration merging all per-column MLP MPSNs.
+
+    The per-column MLPs (same depth, same activation) are merged layer by
+    layer into block-diagonal weight matrices; a single forward pass then
+    embeds the predicates of every column at once.  This reproduces the
+    paper's "Parallel Acceleration for MLP MPSN" and is mathematically
+    identical to running the per-column networks separately.
+    """
+
+    def __init__(self, mpsns: list[MLPMPSN]) -> None:
+        if not mpsns:
+            raise ValueError("at least one MPSN is required")
+        if not all(isinstance(mpsn, MLPMPSN) for mpsn in mpsns):
+            raise TypeError("the merged acceleration only applies to MLP MPSNs")
+        depths = {len(list(mpsn.network)) for mpsn in mpsns}
+        if len(depths) != 1:
+            raise ValueError("all MLP MPSNs must share the same number of layers")
+        self.mpsns = mpsns
+        self.input_widths = [mpsn.input_width for mpsn in mpsns]
+        self.output_widths = [mpsn.output_width for mpsn in mpsns]
+        self._layers = self._merge_layers()
+
+    def _merge_layers(self) -> list[tuple[np.ndarray, np.ndarray, bool]]:
+        """Merge each depth level into ``(block-diag weight, concat bias, relu?)``."""
+        merged: list[tuple[np.ndarray, np.ndarray, bool]] = []
+        layer_lists = [list(mpsn.network) for mpsn in self.mpsns]
+        for level in range(len(layer_lists[0])):
+            level_layers = [layers[level] for layers in layer_lists]
+            if isinstance(level_layers[0], nn.ReLU):
+                continue
+            weights = [layer.weight.numpy() for layer in level_layers]
+            biases = [layer.bias.numpy() for layer in level_layers]
+            total_in = sum(weight.shape[0] for weight in weights)
+            total_out = sum(weight.shape[1] for weight in weights)
+            block = np.zeros((total_in, total_out))
+            row = column = 0
+            for weight in weights:
+                block[row:row + weight.shape[0], column:column + weight.shape[1]] = weight
+                row += weight.shape[0]
+                column += weight.shape[1]
+            bias = np.concatenate(biases)
+            is_last = level == len(layer_lists[0]) - 1
+            merged.append((block, bias, not is_last))
+        return merged
+
+    def forward(self, per_column_encodings: list[np.ndarray],
+                per_column_presence: list[np.ndarray]) -> list[np.ndarray]:
+        """Embed every column's predicates with one pass through the merged net.
+
+        ``per_column_encodings[i]`` has shape ``(batch, slots, width_i)``;
+        the return value is one ``(batch, output_width_i)`` array per column.
+        """
+        batch = per_column_encodings[0].shape[0]
+        slots = per_column_encodings[0].shape[1]
+        stacked = np.concatenate(
+            [np.asarray(encoding, dtype=np.float64) for encoding in per_column_encodings],
+            axis=-1)
+        hidden = stacked.reshape(batch * slots, -1)
+        for weight, bias, apply_relu in self._layers:
+            hidden = hidden @ weight + bias
+            if apply_relu:
+                hidden = np.maximum(hidden, 0.0)
+        hidden = hidden.reshape(batch, slots, -1)
+        outputs: list[np.ndarray] = []
+        offset = 0
+        for column_index, width in enumerate(self.output_widths):
+            presence = np.asarray(per_column_presence[column_index], dtype=np.float64)
+            block = hidden[:, :, offset:offset + width] * presence[..., None]
+            outputs.append(block.sum(axis=1))
+            offset += width
+        return outputs

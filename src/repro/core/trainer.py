@@ -1,0 +1,229 @@
+"""Training loops for Duet: data-driven (Algorithm 1 + cross-entropy) and
+hybrid (Algorithm 2, ``L = L_data + lambda * log2(QError + 1)``).
+
+``DuetTrainer`` covers both modes: pass a labelled training workload to get
+hybrid training ("Duet" in the paper's tables), pass none — or set
+``lambda_query = 0`` — for pure data-driven training ("DuetD").
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .. import nn
+from ..nn import Tensor
+from ..nn import functional as F
+from ..data.table import Table
+from ..workload.workload import Workload
+from .config import DuetConfig
+from .model import DuetModel
+from .virtual_table import PredicateGuidance, VirtualTableSampler
+
+__all__ = ["EpochStats", "TrainingHistory", "DuetTrainer"]
+
+
+@dataclass(frozen=True)
+class EpochStats:
+    """Aggregated statistics of one training epoch."""
+
+    epoch: int
+    data_loss: float
+    query_loss: float
+    raw_qerror: float
+    duration_seconds: float
+    tuples_per_second: float
+    evaluation: float | None = None
+
+
+@dataclass
+class TrainingHistory:
+    """Per-epoch statistics collected during training."""
+
+    epochs: list[EpochStats] = field(default_factory=list)
+
+    def append(self, stats: EpochStats) -> None:
+        self.epochs.append(stats)
+
+    @property
+    def data_losses(self) -> list[float]:
+        return [stats.data_loss for stats in self.epochs]
+
+    @property
+    def query_losses(self) -> list[float]:
+        return [stats.query_loss for stats in self.epochs]
+
+    @property
+    def raw_qerrors(self) -> list[float]:
+        return [stats.raw_qerror for stats in self.epochs]
+
+    @property
+    def evaluations(self) -> list[float | None]:
+        return [stats.evaluation for stats in self.epochs]
+
+    @property
+    def mean_throughput(self) -> float:
+        if not self.epochs:
+            return 0.0
+        return float(np.mean([stats.tuples_per_second for stats in self.epochs]))
+
+    def best_epoch(self) -> int:
+        """Epoch index with the best (lowest) evaluation value."""
+        scored = [(stats.evaluation, stats.epoch) for stats in self.epochs
+                  if stats.evaluation is not None]
+        if not scored:
+            raise ValueError("no evaluation values were recorded")
+        return min(scored)[1]
+
+
+class DuetTrainer:
+    """Implements Algorithm 2 (hybrid training) and its data-only ablation."""
+
+    def __init__(
+        self,
+        model: DuetModel,
+        table: Table,
+        training_workload: Workload | None = None,
+        config: DuetConfig | None = None,
+        seed: int | None = None,
+        guidance: "PredicateGuidance | None" = None,
+    ) -> None:
+        self.model = model
+        self.table = table
+        self.config = config or model.config
+        self.workload = training_workload
+        if self.workload is not None and not self.workload.is_labeled:
+            self.workload.label(table)
+        self.sampler = VirtualTableSampler(table.cardinalities, self.config, seed=seed,
+                                           guidance=guidance)
+        self.optimizer = nn.Adam(model.parameters(), lr=self.config.learning_rate)
+        self._rng = np.random.default_rng(self.config.seed if seed is None else seed)
+        self._codes = table.code_matrix()
+        self._query_arrays = None
+        if self.hybrid:
+            # Pre-translate the training workload once; batches are sliced per
+            # step, which is much cheaper than re-encoding queries every step.
+            values, ops = self.model.codec.queries_to_code_arrays(self.workload.queries)
+            masks = self.model.codec.zero_out_masks(self.workload.queries)
+            self._query_arrays = (values, ops, masks,
+                                  np.asarray(self.workload.cardinalities, dtype=np.float64))
+
+    # ------------------------------------------------------------------
+    @property
+    def hybrid(self) -> bool:
+        """Whether query supervision is used (the paper's "Duet" vs "DuetD")."""
+        return self.workload is not None and self.config.lambda_query > 0
+
+    # ------------------------------------------------------------------
+    def _iterate_batches(self):
+        order = self._rng.permutation(self.table.num_rows)
+        for start in range(0, self.table.num_rows, self.config.batch_size):
+            yield self._codes[order[start:start + self.config.batch_size]]
+
+    def _query_batch(self):
+        values, ops, masks, cards = self._query_arrays
+        count = min(self.config.query_batch_size, values.shape[0])
+        picked = self._rng.choice(values.shape[0], size=count, replace=False)
+        picked_masks = [mask[picked] for mask in masks]
+        return values[picked], ops[picked], picked_masks, cards[picked]
+
+    # ------------------------------------------------------------------
+    def _data_loss(self, batch_codes: np.ndarray) -> Tensor:
+        """Unsupervised loss: cross-entropy on the virtual-table sample."""
+        virtual = self.sampler.sample_batch(batch_codes)
+        outputs = self.model.forward(virtual.values, virtual.ops)
+        loss: Tensor | None = None
+        for column_index in range(self.table.num_columns):
+            logits = self.model.column_logits(outputs, column_index)
+            column_loss = F.cross_entropy(logits, virtual.labels[:, column_index])
+            loss = column_loss if loss is None else loss + column_loss
+        return loss
+
+    def _query_loss(self) -> tuple[Tensor, float]:
+        """Supervised loss: mapped Q-Error on a batch of training queries."""
+        values, ops, masks, cards = self._query_batch()
+        outputs = self.model.forward(values, ops)
+        selectivity = self.model.selectivity_from_outputs(outputs, masks)
+        estimates = selectivity * float(self.table.num_rows)
+        raw = F.qerror(estimates, cards)
+        mapped = F.mapped_qerror_loss(estimates, cards).mean()
+        return mapped, float(raw.numpy().mean())
+
+    # ------------------------------------------------------------------
+    def train_epoch(self, epoch: int, evaluation_fn=None) -> EpochStats:
+        """One pass over the table (Algorithm 2's outer loop body)."""
+        self.model.train()
+        data_losses: list[float] = []
+        query_losses: list[float] = []
+        raw_qerrors: list[float] = []
+        tuples_processed = 0
+        started = time.perf_counter()
+
+        for batch_codes in self._iterate_batches():
+            loss = self._data_loss(batch_codes)
+            data_losses.append(loss.item())
+            if self.hybrid:
+                query_loss, raw_qerror = self._query_loss()
+                query_losses.append(query_loss.item())
+                raw_qerrors.append(raw_qerror)
+                loss = loss + query_loss * self.config.lambda_query
+            self.optimizer.zero_grad()
+            loss.backward()
+            if self.config.grad_clip:
+                nn.clip_grad_norm(self.model.parameters(), self.config.grad_clip)
+            self.optimizer.step()
+            tuples_processed += batch_codes.shape[0]
+
+        duration = time.perf_counter() - started
+        evaluation = None
+        if evaluation_fn is not None:
+            evaluation = float(evaluation_fn(self.model))
+        return EpochStats(
+            epoch=epoch,
+            data_loss=float(np.mean(data_losses)) if data_losses else 0.0,
+            query_loss=float(np.mean(query_losses)) if query_losses else 0.0,
+            raw_qerror=float(np.mean(raw_qerrors)) if raw_qerrors else 0.0,
+            duration_seconds=duration,
+            tuples_per_second=tuples_processed / max(duration, 1e-9),
+            evaluation=evaluation,
+        )
+
+    def train(self, epochs: int | None = None, evaluation_fn=None) -> TrainingHistory:
+        """Run the full training loop and return the per-epoch history."""
+        history = TrainingHistory()
+        for epoch in range(epochs if epochs is not None else self.config.epochs):
+            history.append(self.train_epoch(epoch, evaluation_fn=evaluation_fn))
+        return history
+
+    # ------------------------------------------------------------------
+    def finetune_on_queries(self, workload: Workload, steps: int = 50) -> list[float]:
+        """Post-deployment fine-tuning on (historical) queries only.
+
+        The paper highlights that Duet's differentiable estimation lets a
+        deployed model be tuned on the queries that showed large errors.
+        Returns the mapped query loss per step.
+        """
+        if not workload.is_labeled:
+            workload.label(self.table)
+        values, ops = self.model.codec.queries_to_code_arrays(workload.queries)
+        masks = self.model.codec.zero_out_masks(workload.queries)
+        cards = np.asarray(workload.cardinalities, dtype=np.float64)
+        losses: list[float] = []
+        self.model.train()
+        for _ in range(steps):
+            count = min(self.config.query_batch_size, values.shape[0])
+            picked = self._rng.choice(values.shape[0], size=count, replace=False)
+            outputs = self.model.forward(values[picked], ops[picked])
+            selectivity = self.model.selectivity_from_outputs(
+                outputs, [mask[picked] for mask in masks])
+            estimates = selectivity * float(self.table.num_rows)
+            loss = F.mapped_qerror_loss(estimates, cards[picked]).mean()
+            self.optimizer.zero_grad()
+            loss.backward()
+            if self.config.grad_clip:
+                nn.clip_grad_norm(self.model.parameters(), self.config.grad_clip)
+            self.optimizer.step()
+            losses.append(loss.item())
+        return losses

@@ -1,0 +1,38 @@
+"""Relational data substrate: columns, tables, dataset generators, statistics."""
+
+from .column import Column
+from .csv_loader import load_csv
+from .datasets import (
+    DATASET_BUILDERS,
+    ColumnSpec,
+    SyntheticTableSpec,
+    generate_table,
+    make_census,
+    make_dataset,
+    make_dmv,
+    make_kddcup98,
+)
+from .join import JoinSpec, join_row_multiplicities, join_tables
+from .statistics import ColumnStatistics, TableStatistics, correlation_matrix, cramers_v
+from .table import Table
+
+__all__ = [
+    "Column",
+    "Table",
+    "load_csv",
+    "ColumnSpec",
+    "SyntheticTableSpec",
+    "generate_table",
+    "make_dmv",
+    "make_kddcup98",
+    "make_census",
+    "make_dataset",
+    "DATASET_BUILDERS",
+    "ColumnStatistics",
+    "TableStatistics",
+    "cramers_v",
+    "correlation_matrix",
+    "JoinSpec",
+    "join_tables",
+    "join_row_multiplicities",
+]

@@ -1,0 +1,124 @@
+"""Column abstraction: a named attribute with a dictionary-encoded domain.
+
+Learned cardinality estimators operate on *discretised* columns: every raw
+value (category string, integer, date, float) is mapped to an integer code in
+``[0, num_distinct)`` such that the code order matches the natural order of
+the raw values.  Range predicates on raw values then become range predicates
+on codes, which is what Naru, UAE, and Duet all rely on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+import numpy as np
+
+__all__ = ["Column"]
+
+
+@dataclass
+class Column:
+    """A single attribute of a relation, dictionary-encoded.
+
+    Attributes
+    ----------
+    name:
+        Column name as referenced by queries.
+    distinct_values:
+        Sorted array of the raw distinct values occurring in the column.
+    codes:
+        Integer codes (one per tuple) indexing into ``distinct_values``.
+    """
+
+    name: str
+    distinct_values: np.ndarray
+    codes: np.ndarray = field(repr=False)
+
+    def __post_init__(self) -> None:
+        self.distinct_values = np.asarray(self.distinct_values)
+        self.codes = np.asarray(self.codes, dtype=np.int64)
+        if self.distinct_values.ndim != 1:
+            raise ValueError("distinct_values must be one-dimensional")
+        if self.codes.ndim != 1:
+            raise ValueError("codes must be one-dimensional")
+        if self.codes.size and (self.codes.min() < 0
+                                or self.codes.max() >= self.distinct_values.size):
+            raise ValueError(f"column {self.name!r}: codes out of range")
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_values(cls, name: str, values: Iterable) -> "Column":
+        """Build a column by dictionary-encoding raw ``values``.
+
+        The distinct values are sorted so that code order matches value
+        order, which keeps range predicates meaningful after encoding.
+        """
+        array = np.asarray(list(values) if not isinstance(values, np.ndarray) else values)
+        if array.size == 0:
+            raise ValueError(f"column {name!r}: cannot build from zero values")
+        distinct, codes = np.unique(array, return_inverse=True)
+        return cls(name=name, distinct_values=distinct, codes=codes.astype(np.int64))
+
+    @classmethod
+    def from_codes(cls, name: str, codes: np.ndarray, num_distinct: int | None = None,
+                   distinct_values: np.ndarray | None = None) -> "Column":
+        """Build a column directly from integer codes (synthetic datasets)."""
+        codes = np.asarray(codes, dtype=np.int64)
+        if distinct_values is None:
+            if num_distinct is None:
+                num_distinct = int(codes.max()) + 1 if codes.size else 0
+            distinct_values = np.arange(num_distinct)
+        return cls(name=name, distinct_values=np.asarray(distinct_values), codes=codes)
+
+    # ------------------------------------------------------------------
+    # Properties
+    # ------------------------------------------------------------------
+    @property
+    def num_distinct(self) -> int:
+        """Number of distinct values (the paper's NDV)."""
+        return int(self.distinct_values.size)
+
+    @property
+    def num_rows(self) -> int:
+        return int(self.codes.size)
+
+    def value_counts(self) -> np.ndarray:
+        """Occurrence count of each distinct value, indexed by code."""
+        return np.bincount(self.codes, minlength=self.num_distinct)
+
+    def frequencies(self) -> np.ndarray:
+        """Relative frequency of each distinct value, indexed by code."""
+        counts = self.value_counts()
+        return counts / max(self.num_rows, 1)
+
+    # ------------------------------------------------------------------
+    # Value <-> code translation
+    # ------------------------------------------------------------------
+    def code_of(self, value) -> int:
+        """Exact code of a raw value; raises ``KeyError`` if absent."""
+        index = int(np.searchsorted(self.distinct_values, value))
+        if index >= self.num_distinct or self.distinct_values[index] != value:
+            raise KeyError(f"value {value!r} not present in column {self.name!r}")
+        return index
+
+    def value_of(self, code: int):
+        """Raw value for a code."""
+        return self.distinct_values[int(code)]
+
+    def searchsorted(self, value, side: str = "left") -> int:
+        """Insertion index of ``value`` in the sorted distinct values.
+
+        Used to translate range predicates on raw values into ranges of
+        codes even when the boundary value itself does not occur in the
+        column.
+        """
+        return int(np.searchsorted(self.distinct_values, value, side=side))
+
+    def __len__(self) -> int:
+        return self.num_rows
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Column(name={self.name!r}, ndv={self.num_distinct}, rows={self.num_rows})"

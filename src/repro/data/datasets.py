@@ -1,0 +1,252 @@
+"""Synthetic datasets mirroring the paper's evaluation datasets.
+
+The paper evaluates on three public datasets: DMV (New York vehicle
+registrations, 12.37M rows, 11 columns, NDV 2-2774), Kddcup98 (95,412 rows,
+100 columns, NDV 2-57) and Census (48,842 rows, 14 columns, NDV 2-123).
+Those files cannot be downloaded in this offline environment, so this module
+generates synthetic tables that match the characteristics that drive
+cardinality-estimator behaviour:
+
+* the column count and the per-column number of distinct values (NDV) ranges,
+* heavily skewed marginal distributions (Zipf-like),
+* inter-column correlation, produced by a shared latent factor per column
+  group, plus a few hard functional dependencies,
+* deterministic generation from a seed, so every experiment is repeatable.
+
+Row counts are scaled down by default so the full benchmark suite runs on a
+laptop; ``scale=1.0`` reproduces the paper's row counts.  The real CSVs can
+be used instead through :func:`repro.data.csv_loader.load_csv`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .column import Column
+from .table import Table
+
+__all__ = [
+    "ColumnSpec",
+    "SyntheticTableSpec",
+    "generate_table",
+    "make_dmv",
+    "make_kddcup98",
+    "make_census",
+    "make_dataset",
+    "DATASET_BUILDERS",
+]
+
+
+@dataclass(frozen=True)
+class ColumnSpec:
+    """Description of one synthetic column.
+
+    Attributes
+    ----------
+    name:
+        Column name.
+    num_distinct:
+        Number of distinct values (NDV).
+    skew:
+        Zipf exponent of the marginal distribution; 0 means uniform and
+        values around 1-1.5 are typical of real categorical attributes.
+    latent_group:
+        Columns sharing a latent group are correlated with each other.
+    correlation:
+        Weight in [0, 1] of the shared latent factor; 0 makes the column
+        independent, 1 makes it a deterministic function of the latent.
+    derived_from:
+        Optional name of another column this one functionally depends on
+        (e.g. city -> zip in DMV).  Overrides the latent mechanism.
+    """
+
+    name: str
+    num_distinct: int
+    skew: float = 1.0
+    latent_group: int = 0
+    correlation: float = 0.5
+    derived_from: str | None = None
+
+
+@dataclass(frozen=True)
+class SyntheticTableSpec:
+    """Full description of a synthetic table."""
+
+    name: str
+    num_rows: int
+    columns: tuple[ColumnSpec, ...]
+    seed: int = 0
+
+
+def _zipf_probabilities(num_values: int, skew: float) -> np.ndarray:
+    """Zipf-like probability vector over ``num_values`` items."""
+    if num_values <= 0:
+        raise ValueError("num_values must be positive")
+    if skew <= 0:
+        return np.full(num_values, 1.0 / num_values)
+    ranks = np.arange(1, num_values + 1, dtype=np.float64)
+    weights = ranks ** (-skew)
+    return weights / weights.sum()
+
+
+def _sample_column_codes(
+    spec: ColumnSpec,
+    latent: np.ndarray,
+    rng: np.random.Generator,
+) -> np.ndarray:
+    """Sample integer codes for one column from its spec and latent factor."""
+    num_rows = latent.shape[0]
+    probabilities = _zipf_probabilities(spec.num_distinct, spec.skew)
+    cumulative = np.cumsum(probabilities)
+    # Blend the shared latent factor with independent noise, then push the
+    # resulting uniform variate through the skewed inverse CDF.  Columns in
+    # the same latent group therefore co-vary while keeping their marginals.
+    noise = rng.uniform(0.0, 1.0, size=num_rows)
+    mixed = spec.correlation * latent + (1.0 - spec.correlation) * noise
+    mixed = np.clip(mixed, 0.0, np.nextafter(1.0, 0.0))
+    codes = np.searchsorted(cumulative, mixed, side="right")
+    # A value permutation decouples "frequent" from "small code" for some
+    # columns, which is what real data looks like; keep it deterministic.
+    permutation = rng.permutation(spec.num_distinct)
+    return permutation[codes]
+
+
+def _derive_codes(parent_codes: np.ndarray, spec: ColumnSpec,
+                  rng: np.random.Generator) -> np.ndarray:
+    """Functional dependency with a little noise: child ~= f(parent)."""
+    multiplier = max(1, spec.num_distinct // 3)
+    base = (parent_codes * multiplier) % spec.num_distinct
+    # A small amount of noise keeps the dependency realistic (about 10% of
+    # rows deviate by one code) without destroying the association.
+    noise = (rng.uniform(size=parent_codes.size) < 0.1).astype(np.int64)
+    return (base + noise) % spec.num_distinct
+
+
+def generate_table(spec: SyntheticTableSpec) -> Table:
+    """Generate a :class:`Table` from a :class:`SyntheticTableSpec`."""
+    rng = np.random.default_rng(spec.seed)
+    groups = sorted({column.latent_group for column in spec.columns})
+    latents = {group: rng.uniform(0.0, 1.0, size=spec.num_rows) for group in groups}
+
+    columns: list[Column] = []
+    by_name: dict[str, np.ndarray] = {}
+    for column_spec in spec.columns:
+        if column_spec.derived_from is not None:
+            if column_spec.derived_from not in by_name:
+                raise ValueError(
+                    f"column {column_spec.name!r} derives from "
+                    f"{column_spec.derived_from!r} which is not defined before it")
+            codes = _derive_codes(by_name[column_spec.derived_from], column_spec, rng)
+        else:
+            codes = _sample_column_codes(column_spec, latents[column_spec.latent_group], rng)
+        by_name[column_spec.name] = codes
+        columns.append(Column.from_codes(column_spec.name, codes,
+                                         num_distinct=column_spec.num_distinct))
+    return Table(spec.name, columns)
+
+
+# ----------------------------------------------------------------------
+# Paper datasets (synthetic stand-ins)
+# ----------------------------------------------------------------------
+
+_DMV_FULL_ROWS = 12_370_355
+_KDD_FULL_ROWS = 95_412
+_CENSUS_FULL_ROWS = 48_842
+
+
+def make_dmv(scale: float = 0.004, seed: int = 0) -> Table:
+    """Synthetic stand-in for the DMV vehicle-registration table.
+
+    11 columns mixing tiny domains (2-5 values) with large categorical
+    domains (up to 2,774 distinct values), strong skew, and functional
+    dependencies between the large columns — the properties that make DMV
+    the paper's "high cardinality / large NDV" case.
+    """
+    num_rows = max(1_000, int(_DMV_FULL_ROWS * scale))
+    columns = (
+        ColumnSpec("record_type", 4, skew=1.2, latent_group=0, correlation=0.3),
+        ColumnSpec("registration_class", 75, skew=1.1, latent_group=0, correlation=0.6),
+        ColumnSpec("state", 67, skew=1.6, latent_group=1, correlation=0.5),
+        ColumnSpec("county", 63, skew=1.2, latent_group=1, correlation=0.7),
+        ColumnSpec("body_type", 59, skew=1.4, latent_group=0, correlation=0.6),
+        ColumnSpec("fuel_type", 9, skew=1.5, latent_group=0, correlation=0.4),
+        ColumnSpec("reg_valid_date", 2774, skew=0.8, latent_group=2, correlation=0.8),
+        ColumnSpec("reg_expiration_date", 2155, skew=0.8, derived_from="reg_valid_date"),
+        ColumnSpec("color", 225, skew=1.3, latent_group=0, correlation=0.4),
+        ColumnSpec("scofflaw_indicator", 2, skew=0.9, latent_group=1, correlation=0.2),
+        ColumnSpec("suspension_indicator", 2, skew=1.0, latent_group=1, correlation=0.2),
+    )
+    return generate_table(SyntheticTableSpec("dmv", num_rows, columns, seed=seed))
+
+
+def make_kddcup98(scale: float = 0.08, seed: int = 1,
+                  num_columns: int = 100) -> Table:
+    """Synthetic stand-in for the Kddcup98 donation table.
+
+    100 low-NDV columns (2-57 distinct values) — the paper's
+    high-dimensional scalability case.  ``num_columns`` can be reduced for
+    cheap unit tests and is also used by the Figure 6 sweep.
+    """
+    if not 2 <= num_columns <= 100:
+        raise ValueError("num_columns must be between 2 and 100")
+    num_rows = max(1_000, int(_KDD_FULL_ROWS * scale))
+    rng = np.random.default_rng(seed + 1000)
+    ndvs = rng.integers(2, 58, size=num_columns)
+    # The real table has a handful of larger-domain columns; pin a few.
+    ndvs[: min(5, num_columns)] = [57, 44, 32, 21, 12][: min(5, num_columns)]
+    columns = tuple(
+        ColumnSpec(
+            name=f"col{i:03d}",
+            num_distinct=int(ndvs[i]),
+            skew=float(rng.uniform(0.6, 1.8)),
+            latent_group=i % 8,
+            correlation=float(rng.uniform(0.2, 0.8)),
+        )
+        for i in range(num_columns)
+    )
+    return generate_table(SyntheticTableSpec("kddcup98", num_rows, columns, seed=seed))
+
+
+def make_census(scale: float = 0.2, seed: int = 2) -> Table:
+    """Synthetic stand-in for the UCI Census (adult) table.
+
+    14 columns with NDV 2-123, moderate skew — the paper's "small table"
+    case.
+    """
+    num_rows = max(1_000, int(_CENSUS_FULL_ROWS * scale))
+    columns = (
+        ColumnSpec("age", 74, skew=0.7, latent_group=0, correlation=0.6),
+        ColumnSpec("workclass", 9, skew=1.4, latent_group=1, correlation=0.4),
+        ColumnSpec("fnlwgt_bucket", 100, skew=0.5, latent_group=2, correlation=0.3),
+        ColumnSpec("education", 16, skew=1.1, latent_group=0, correlation=0.7),
+        ColumnSpec("education_num", 16, skew=1.1, derived_from="education"),
+        ColumnSpec("marital_status", 7, skew=1.2, latent_group=0, correlation=0.5),
+        ColumnSpec("occupation", 15, skew=1.0, latent_group=1, correlation=0.6),
+        ColumnSpec("relationship", 6, skew=1.2, latent_group=0, correlation=0.5),
+        ColumnSpec("race", 5, skew=1.8, latent_group=3, correlation=0.3),
+        ColumnSpec("sex", 2, skew=0.8, latent_group=3, correlation=0.4),
+        ColumnSpec("capital_gain_bucket", 123, skew=2.0, latent_group=2, correlation=0.5),
+        ColumnSpec("capital_loss_bucket", 99, skew=2.0, latent_group=2, correlation=0.5),
+        ColumnSpec("hours_per_week", 96, skew=0.9, latent_group=0, correlation=0.5),
+        ColumnSpec("native_country", 42, skew=2.2, latent_group=3, correlation=0.4),
+    )
+    return generate_table(SyntheticTableSpec("census", num_rows, columns, seed=seed))
+
+
+DATASET_BUILDERS = {
+    "dmv": make_dmv,
+    "kddcup98": make_kddcup98,
+    "census": make_census,
+}
+
+
+def make_dataset(name: str, **kwargs) -> Table:
+    """Build one of the paper's datasets by name (``dmv``/``kddcup98``/``census``)."""
+    try:
+        builder = DATASET_BUILDERS[name.lower()]
+    except KeyError as error:
+        raise KeyError(f"unknown dataset {name!r}; "
+                       f"choose from {sorted(DATASET_BUILDERS)}") from error
+    return builder(**kwargs)

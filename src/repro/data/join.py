@@ -1,0 +1,131 @@
+"""Join support: materialise key-equality joins so Duet can estimate join queries.
+
+The paper (§III, "Supported Queries") states that Duet supports joins the
+same way NeuroCard does: learn the data distribution of the *joined* table
+and answer join queries against that single relation.  This module provides
+the substrate for that workflow:
+
+* :func:`join_tables` — materialise the equi-join of two dictionary-encoded
+  tables on a key pair (hash join on raw key values), producing a new
+  :class:`~repro.data.table.Table` whose columns are prefixed with their
+  source table's name;
+* :class:`JoinSpec` — a declarative description of a two-table equi-join;
+* :func:`join_row_multiplicities` — the per-row fan-out counts, useful for
+  sanity checks and for down-sampling very large join results.
+
+NeuroCard's complete treatment uses the *full outer* join with NULL
+annotations so a single model serves every sub-join; this reproduction
+materialises the inner equi-join (no NULL semantics needed), which is
+sufficient to train Duet on join results and estimate join-query
+cardinalities, and documents the outer-join generalisation as future work.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .column import Column
+from .table import Table
+
+__all__ = ["JoinSpec", "join_tables", "join_row_multiplicities"]
+
+
+@dataclass(frozen=True)
+class JoinSpec:
+    """Equi-join of two tables: ``left.left_key = right.right_key``."""
+
+    left: Table
+    right: Table
+    left_key: str
+    right_key: str
+
+    def __post_init__(self) -> None:
+        if self.left_key not in self.left.column_names:
+            raise KeyError(f"left table {self.left.name!r} has no column {self.left_key!r}")
+        if self.right_key not in self.right.column_names:
+            raise KeyError(f"right table {self.right.name!r} has no column "
+                           f"{self.right_key!r}")
+
+    def materialise(self, name: str | None = None,
+                    max_rows: int | None = None,
+                    rng: np.random.Generator | None = None) -> Table:
+        """Materialise the join (see :func:`join_tables`)."""
+        return join_tables(self.left, self.right, self.left_key, self.right_key,
+                           name=name, max_rows=max_rows, rng=rng)
+
+
+def _matching_row_pairs(left: Table, right: Table, left_key: str, right_key: str
+                        ) -> tuple[np.ndarray, np.ndarray]:
+    """Row-index pairs ``(left_rows, right_rows)`` of the inner equi-join."""
+    left_column = left.column(left_key)
+    right_column = right.column(right_key)
+    left_values = left_column.distinct_values[left_column.codes]
+    right_values = right_column.distinct_values[right_column.codes]
+
+    # Hash-join on raw key values: group right row indices by key value.
+    right_rows_by_value: dict = {}
+    for row_index, value in enumerate(right_values):
+        right_rows_by_value.setdefault(value, []).append(row_index)
+
+    left_indices: list[int] = []
+    right_indices: list[int] = []
+    for row_index, value in enumerate(left_values):
+        matches = right_rows_by_value.get(value)
+        if not matches:
+            continue
+        left_indices.extend([row_index] * len(matches))
+        right_indices.extend(matches)
+    return (np.asarray(left_indices, dtype=np.int64),
+            np.asarray(right_indices, dtype=np.int64))
+
+
+def join_row_multiplicities(left: Table, right: Table, left_key: str, right_key: str
+                            ) -> np.ndarray:
+    """Fan-out of each left row: how many right rows it joins with."""
+    left_column = left.column(left_key)
+    right_column = right.column(right_key)
+    right_counts: dict = {}
+    right_values = right_column.distinct_values[right_column.codes]
+    for value in right_values:
+        right_counts[value] = right_counts.get(value, 0) + 1
+    left_values = left_column.distinct_values[left_column.codes]
+    return np.array([right_counts.get(value, 0) for value in left_values], dtype=np.int64)
+
+
+def join_tables(left: Table, right: Table, left_key: str, right_key: str,
+                name: str | None = None, max_rows: int | None = None,
+                rng: np.random.Generator | None = None) -> Table:
+    """Materialise the inner equi-join of ``left`` and ``right``.
+
+    The result contains every column of both inputs, renamed to
+    ``"<table>.<column>"`` (the join keys keep both copies, which is handy
+    for sanity checks).  With ``max_rows`` set, a uniform sample of the join
+    result is materialised instead — the standard trick for very large joins,
+    and statistically adequate for training a cardinality model when paired
+    with the true join size for scaling.
+
+    Raises ``ValueError`` when the join result is empty (an estimator cannot
+    be trained on an empty relation).
+    """
+    left_rows, right_rows = _matching_row_pairs(left, right, left_key, right_key)
+    if left_rows.size == 0:
+        raise ValueError(f"the join of {left.name!r} and {right.name!r} on "
+                         f"{left_key!r} = {right_key!r} is empty")
+
+    if max_rows is not None and left_rows.size > max_rows:
+        rng = rng or np.random.default_rng(0)
+        picked = rng.choice(left_rows.size, size=max_rows, replace=False)
+        left_rows, right_rows = left_rows[picked], right_rows[picked]
+
+    columns: list[Column] = []
+    for source, rows in ((left, left_rows), (right, right_rows)):
+        for column in source.columns:
+            joined_codes = column.codes[rows]
+            columns.append(Column(
+                name=f"{source.name}.{column.name}",
+                distinct_values=column.distinct_values,
+                codes=joined_codes,
+            ))
+    return Table(name or f"{left.name}_join_{right.name}", columns)

@@ -1,0 +1,99 @@
+"""Table abstraction: an ordered collection of dictionary-encoded columns."""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from .column import Column
+
+__all__ = ["Table"]
+
+
+class Table:
+    """A relation with NumPy-backed, dictionary-encoded columns.
+
+    All estimators in this repository consume tables through this class:
+    the code matrix (``num_rows x num_columns`` of integer codes) is what the
+    neural models train on and what the ground-truth executor scans.
+    """
+
+    def __init__(self, name: str, columns: Sequence[Column]) -> None:
+        if not columns:
+            raise ValueError("a table needs at least one column")
+        lengths = {column.num_rows for column in columns}
+        if len(lengths) != 1:
+            raise ValueError(f"columns of table {name!r} have differing lengths: {lengths}")
+        names = [column.name for column in columns]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate column names in table {name!r}")
+        self.name = name
+        self.columns: list[Column] = list(columns)
+        self._index = {column.name: position for position, column in enumerate(self.columns)}
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_dict(cls, name: str, data: dict[str, Iterable]) -> "Table":
+        """Build a table from a mapping of column name to raw values."""
+        columns = [Column.from_values(column_name, values)
+                   for column_name, values in data.items()]
+        return cls(name, columns)
+
+    # ------------------------------------------------------------------
+    @property
+    def num_rows(self) -> int:
+        return self.columns[0].num_rows
+
+    @property
+    def num_columns(self) -> int:
+        return len(self.columns)
+
+    @property
+    def column_names(self) -> list[str]:
+        return [column.name for column in self.columns]
+
+    @property
+    def cardinalities(self) -> list[int]:
+        """Number of distinct values of each column, in column order."""
+        return [column.num_distinct for column in self.columns]
+
+    def column(self, name_or_index: str | int) -> Column:
+        """Look a column up by name or positional index."""
+        if isinstance(name_or_index, str):
+            if name_or_index not in self._index:
+                raise KeyError(f"table {self.name!r} has no column {name_or_index!r}")
+            return self.columns[self._index[name_or_index]]
+        return self.columns[int(name_or_index)]
+
+    def column_index(self, name: str) -> int:
+        if name not in self._index:
+            raise KeyError(f"table {self.name!r} has no column {name!r}")
+        return self._index[name]
+
+    # ------------------------------------------------------------------
+    def code_matrix(self) -> np.ndarray:
+        """Return the ``(num_rows, num_columns)`` matrix of integer codes."""
+        return np.stack([column.codes for column in self.columns], axis=1)
+
+    def row(self, index: int) -> list:
+        """Raw values of row ``index`` (mostly for debugging and examples)."""
+        return [column.value_of(column.codes[index]) for column in self.columns]
+
+    def sample_rows(self, count: int, rng: np.random.Generator | None = None) -> np.ndarray:
+        """Uniformly sample ``count`` rows (with replacement) as a code matrix."""
+        rng = rng or np.random.default_rng()
+        indices = rng.integers(0, self.num_rows, size=count)
+        return self.code_matrix()[indices]
+
+    def project(self, column_names: Sequence[str], name: str | None = None) -> "Table":
+        """Return a new table containing only ``column_names`` (in that order)."""
+        columns = [self.column(column_name) for column_name in column_names]
+        return Table(name or f"{self.name}_projection", columns)
+
+    def __len__(self) -> int:
+        return self.num_rows
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"Table(name={self.name!r}, rows={self.num_rows}, "
+                f"columns={self.num_columns})")

@@ -1,0 +1,46 @@
+"""Evaluation harness: metrics, estimator evaluation, experiment drivers."""
+
+from .experiments import (
+    SmokeScale,
+    ablation_expand_coefficient,
+    ablation_hybrid_training,
+    ablation_loss_mapping,
+    convergence_study,
+    figure3_loss_mapping,
+    figure4_workload_distribution,
+    figure5_lambda_study,
+    figure6_scalability,
+    figure7_estimation_cost,
+    table1_mpsn_comparison,
+    table2_accuracy,
+    table3_training_throughput,
+)
+from .harness import EvaluationResult, TrainedDuet, evaluate_estimator, train_duet
+from .metrics import QErrorSummary, qerror, summarize_qerrors
+from .reporting import cumulative_distribution, format_series, format_table
+
+__all__ = [
+    "qerror",
+    "QErrorSummary",
+    "summarize_qerrors",
+    "format_table",
+    "format_series",
+    "cumulative_distribution",
+    "EvaluationResult",
+    "TrainedDuet",
+    "evaluate_estimator",
+    "train_duet",
+    "SmokeScale",
+    "figure3_loss_mapping",
+    "figure4_workload_distribution",
+    "figure5_lambda_study",
+    "table1_mpsn_comparison",
+    "figure6_scalability",
+    "figure7_estimation_cost",
+    "table2_accuracy",
+    "convergence_study",
+    "table3_training_throughput",
+    "ablation_hybrid_training",
+    "ablation_expand_coefficient",
+    "ablation_loss_mapping",
+]

@@ -1,0 +1,95 @@
+"""Evaluation harness: run estimators over workloads, collect accuracy and cost.
+
+This is the machinery behind every table and figure reproduction: it trains
+(or builds) an estimator, runs it over a labelled workload, and records the
+Q-Error summary, per-query latency and model size — the columns of the
+paper's Table II.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..core import (
+    DuetConfig,
+    DuetEstimator,
+    DuetModel,
+    DuetTrainer,
+    TrainingHistory,
+)
+from ..core.interface import CardinalityEstimator
+from ..data.table import Table
+from ..workload.workload import Workload
+from .metrics import QErrorSummary, qerror, summarize_qerrors
+
+__all__ = ["EvaluationResult", "evaluate_estimator", "train_duet", "TrainedDuet"]
+
+
+@dataclass(frozen=True)
+class EvaluationResult:
+    """Accuracy and cost of one estimator on one workload."""
+
+    estimator_name: str
+    workload_name: str
+    summary: QErrorSummary
+    qerrors: np.ndarray
+    estimates: np.ndarray
+    total_seconds: float
+    per_query_ms: float
+    size_bytes: int
+
+    def as_table_row(self) -> list:
+        """Row matching the paper's Table II layout."""
+        return ([self.estimator_name, self.size_bytes / 1e6, self.per_query_ms]
+                + self.summary.as_row())
+
+
+def evaluate_estimator(estimator: CardinalityEstimator, workload: Workload,
+                       table: Table | None = None) -> EvaluationResult:
+    """Run ``estimator`` over every query of ``workload`` and summarise."""
+    table = table or estimator.table
+    if not workload.is_labeled:
+        workload.label(table)
+    started = time.perf_counter()
+    estimates = estimator.estimate_batch(workload.queries)
+    elapsed = time.perf_counter() - started
+    errors = qerror(estimates, workload.cardinalities)
+    return EvaluationResult(
+        estimator_name=estimator.name,
+        workload_name=workload.name,
+        summary=summarize_qerrors(errors),
+        qerrors=errors,
+        estimates=np.asarray(estimates, dtype=np.float64),
+        total_seconds=elapsed,
+        per_query_ms=1e3 * elapsed / max(len(workload), 1),
+        size_bytes=estimator.size_bytes(),
+    )
+
+
+@dataclass
+class TrainedDuet:
+    """A trained Duet model together with its estimator and history."""
+
+    model: DuetModel
+    estimator: DuetEstimator
+    trainer: DuetTrainer
+    history: TrainingHistory
+
+    @property
+    def hybrid(self) -> bool:
+        return self.trainer.hybrid
+
+
+def train_duet(table: Table, training_workload: Workload | None = None,
+               config: DuetConfig | None = None, epochs: int | None = None,
+               evaluation_fn=None, seed: int | None = None) -> TrainedDuet:
+    """Train Duet (hybrid when a workload is given, DuetD otherwise)."""
+    config = config or DuetConfig()
+    model = DuetModel(table, config)
+    trainer = DuetTrainer(model, table, training_workload, config, seed=seed)
+    history = trainer.train(epochs=epochs, evaluation_fn=evaluation_fn)
+    return TrainedDuet(model=model, estimator=DuetEstimator(model),
+                       trainer=trainer, history=history)

@@ -1,0 +1,57 @@
+"""Q-Error metric and summary statistics (the paper's §V-A3)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["qerror", "QErrorSummary", "summarize_qerrors"]
+
+
+def qerror(estimates: np.ndarray, actuals: np.ndarray, floor: float = 1.0) -> np.ndarray:
+    """Elementwise Q-Error ``max(est, act) / min(est, act)``.
+
+    Estimates and actuals are clamped below by ``floor`` (one tuple), the
+    convention used by the paper and the benchmark it follows, so empty
+    results do not yield infinite errors.
+    """
+    estimates = np.maximum(np.asarray(estimates, dtype=np.float64), floor)
+    actuals = np.maximum(np.asarray(actuals, dtype=np.float64), floor)
+    return np.maximum(estimates / actuals, actuals / estimates)
+
+
+@dataclass(frozen=True)
+class QErrorSummary:
+    """The five statistics the paper's Table II reports per workload."""
+
+    mean: float
+    median: float
+    percentile_75: float
+    percentile_99: float
+    maximum: float
+    count: int
+
+    def as_row(self) -> list[float]:
+        """Row in the paper's column order (mean, median, 75th, 99th, max)."""
+        return [self.mean, self.median, self.percentile_75, self.percentile_99, self.maximum]
+
+    def __str__(self) -> str:
+        return (f"mean={self.mean:.3f} median={self.median:.3f} "
+                f"75th={self.percentile_75:.3f} 99th={self.percentile_99:.3f} "
+                f"max={self.maximum:.3f}")
+
+
+def summarize_qerrors(values: np.ndarray) -> QErrorSummary:
+    """Aggregate an array of Q-Errors into the paper's summary statistics."""
+    values = np.asarray(values, dtype=np.float64)
+    if values.size == 0:
+        raise ValueError("cannot summarise an empty Q-Error array")
+    return QErrorSummary(
+        mean=float(values.mean()),
+        median=float(np.median(values)),
+        percentile_75=float(np.percentile(values, 75)),
+        percentile_99=float(np.percentile(values, 99)),
+        maximum=float(values.max()),
+        count=int(values.size),
+    )

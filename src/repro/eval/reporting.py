@@ -1,0 +1,66 @@
+"""Plain-text rendering of paper-style tables and figure series.
+
+The benchmark harness prints the same rows and series the paper reports;
+these helpers keep the formatting in one place so every benchmark output
+looks consistent and diff-able.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+__all__ = ["format_table", "format_series", "cumulative_distribution"]
+
+
+def _format_cell(value) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000 or abs(value) < 0.01:
+            return f"{value:.3g}"
+        return f"{value:.3f}"
+    return str(value)
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence], title: str | None = None
+                 ) -> str:
+    """Render an aligned plain-text table."""
+    rendered_rows = [[_format_cell(cell) for cell in row] for row in rows]
+    widths = [len(header) for header in headers]
+    for row in rendered_rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    header_line = "  ".join(header.ljust(widths[index])
+                            for index, header in enumerate(headers))
+    lines.append(header_line)
+    lines.append("  ".join("-" * width for width in widths))
+    for row in rendered_rows:
+        lines.append("  ".join(cell.ljust(widths[index]) for index, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def format_series(x_label: str, x_values: Sequence, series: dict[str, Sequence],
+                  title: str | None = None) -> str:
+    """Render figure data as a table with one column per series."""
+    headers = [x_label] + list(series)
+    rows = []
+    for index, x_value in enumerate(x_values):
+        row = [x_value] + [series[name][index] for name in series]
+        rows.append(row)
+    return format_table(headers, rows, title=title)
+
+
+def cumulative_distribution(values: np.ndarray, num_points: int = 50
+                            ) -> tuple[np.ndarray, np.ndarray]:
+    """Empirical CDF sampled at ``num_points`` quantiles (Figure 4)."""
+    values = np.sort(np.asarray(values, dtype=np.float64))
+    if values.size == 0:
+        raise ValueError("cannot compute the CDF of an empty array")
+    quantiles = np.linspace(0.0, 1.0, num_points)
+    points = np.quantile(values, quantiles)
+    return points, quantiles

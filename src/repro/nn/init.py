@@ -1,0 +1,35 @@
+"""Weight initialisation helpers (Kaiming / Xavier / uniform)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["kaiming_uniform", "xavier_uniform", "uniform", "zeros"]
+
+
+def kaiming_uniform(fan_in: int, fan_out: int,
+                    rng: np.random.Generator | None = None) -> np.ndarray:
+    """Kaiming/He uniform initialisation suited to ReLU networks."""
+    rng = rng or np.random.default_rng()
+    bound = np.sqrt(6.0 / fan_in)
+    return rng.uniform(-bound, bound, size=(fan_in, fan_out))
+
+
+def xavier_uniform(fan_in: int, fan_out: int,
+                   rng: np.random.Generator | None = None) -> np.ndarray:
+    """Xavier/Glorot uniform initialisation suited to tanh/sigmoid networks."""
+    rng = rng or np.random.default_rng()
+    bound = np.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-bound, bound, size=(fan_in, fan_out))
+
+
+def uniform(shape: tuple[int, ...], bound: float,
+            rng: np.random.Generator | None = None) -> np.ndarray:
+    """Uniform initialisation in ``[-bound, bound]``."""
+    rng = rng or np.random.default_rng()
+    return rng.uniform(-bound, bound, size=shape)
+
+
+def zeros(shape: tuple[int, ...]) -> np.ndarray:
+    """All-zero initialisation (biases)."""
+    return np.zeros(shape)

@@ -1,0 +1,301 @@
+"""Neural-network layers built on the autograd :class:`~repro.nn.tensor.Tensor`.
+
+Provides the building blocks the Duet reproduction needs: plain and masked
+linear layers (masked linear layers are the core of MADE), embeddings for
+large-domain categorical predicate values, a small LSTM for the RNN variant
+of the Multiple Predicates Supporting Network, and a ``Module`` base class
+with parameter registration and state-dict (de)serialisation.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Iterator
+
+import numpy as np
+
+from . import init
+from .tensor import Tensor
+
+__all__ = [
+    "Module",
+    "Linear",
+    "MaskedLinear",
+    "Embedding",
+    "ReLU",
+    "Tanh",
+    "Sigmoid",
+    "Identity",
+    "Sequential",
+    "LSTMCell",
+    "LSTM",
+]
+
+
+class Module:
+    """Base class for layers and models.
+
+    Subclasses assign :class:`Tensor` parameters and child ``Module``s as
+    attributes; they are discovered automatically for ``parameters()`` and
+    ``state_dict()``.
+    """
+
+    def __init__(self) -> None:
+        self._parameters: "OrderedDict[str, Tensor]" = OrderedDict()
+        self._modules: "OrderedDict[str, Module]" = OrderedDict()
+        self.training = True
+
+    # -- attribute registration ---------------------------------------
+    def __setattr__(self, name: str, value) -> None:
+        if isinstance(value, Tensor) and value.requires_grad:
+            self.__dict__.setdefault("_parameters", OrderedDict())[name] = value
+        elif isinstance(value, Module):
+            self.__dict__.setdefault("_modules", OrderedDict())[name] = value
+        object.__setattr__(self, name, value)
+
+    # -- parameter access ----------------------------------------------
+    def parameters(self) -> Iterator[Tensor]:
+        """Yield all trainable parameters, depth first."""
+        yield from self._parameters.values()
+        for module in self._modules.values():
+            yield from module.parameters()
+
+    def named_parameters(self, prefix: str = "") -> Iterator[tuple[str, Tensor]]:
+        for name, parameter in self._parameters.items():
+            yield prefix + name, parameter
+        for child_name, module in self._modules.items():
+            yield from module.named_parameters(prefix + child_name + ".")
+
+    def num_parameters(self) -> int:
+        """Total number of trainable scalars."""
+        return sum(int(p.size) for p in self.parameters())
+
+    def size_bytes(self, bytes_per_parameter: int = 4) -> int:
+        """Model size assuming float32 storage, used for the paper's size column."""
+        return self.num_parameters() * bytes_per_parameter
+
+    def zero_grad(self) -> None:
+        for parameter in self.parameters():
+            parameter.zero_grad()
+
+    # -- train / eval mode ----------------------------------------------
+    def train(self) -> "Module":
+        self.training = True
+        for module in self._modules.values():
+            module.train()
+        return self
+
+    def eval(self) -> "Module":
+        self.training = False
+        for module in self._modules.values():
+            module.eval()
+        return self
+
+    # -- serialisation ---------------------------------------------------
+    def state_dict(self) -> dict[str, np.ndarray]:
+        return {name: parameter.data.copy() for name, parameter in self.named_parameters()}
+
+    def load_state_dict(self, state: dict[str, np.ndarray]) -> None:
+        own = dict(self.named_parameters())
+        missing = set(own) - set(state)
+        unexpected = set(state) - set(own)
+        if missing or unexpected:
+            raise KeyError(f"state dict mismatch: missing={sorted(missing)}, "
+                           f"unexpected={sorted(unexpected)}")
+        for name, parameter in own.items():
+            loaded = np.asarray(state[name], dtype=np.float64)
+            if loaded.shape != parameter.data.shape:
+                raise ValueError(f"shape mismatch for {name}: "
+                                 f"{loaded.shape} vs {parameter.data.shape}")
+            parameter.data = loaded.copy()
+
+    # -- call protocol ----------------------------------------------------
+    def forward(self, *args, **kwargs):
+        raise NotImplementedError
+
+    def __call__(self, *args, **kwargs):
+        return self.forward(*args, **kwargs)
+
+
+class Linear(Module):
+    """Affine transform ``y = x W + b``."""
+
+    def __init__(self, in_features: int, out_features: int, bias: bool = True,
+                 rng: np.random.Generator | None = None) -> None:
+        super().__init__()
+        self.in_features = in_features
+        self.out_features = out_features
+        self.weight = Tensor(init.kaiming_uniform(in_features, out_features, rng=rng),
+                             requires_grad=True)
+        if bias:
+            self.bias = Tensor(np.zeros(out_features), requires_grad=True)
+        else:
+            self.bias = None
+
+    def forward(self, inputs: Tensor) -> Tensor:
+        output = inputs @ self.weight
+        if self.bias is not None:
+            output = output + self.bias
+        return output
+
+
+class MaskedLinear(Linear):
+    """Linear layer whose weight is elementwise-multiplied by a fixed mask.
+
+    This is the mechanism MADE uses to enforce the autoregressive property:
+    the mask zeroes out connections that would leak information from later
+    columns into earlier conditionals.
+    """
+
+    def __init__(self, in_features: int, out_features: int, bias: bool = True,
+                 rng: np.random.Generator | None = None) -> None:
+        super().__init__(in_features, out_features, bias=bias, rng=rng)
+        self.mask = np.ones((in_features, out_features))
+
+    def set_mask(self, mask: np.ndarray) -> None:
+        mask = np.asarray(mask, dtype=np.float64)
+        if mask.shape != (self.in_features, self.out_features):
+            raise ValueError(f"mask shape {mask.shape} does not match weight shape "
+                             f"{(self.in_features, self.out_features)}")
+        self.mask = mask
+
+    def forward(self, inputs: Tensor) -> Tensor:
+        masked_weight = self.weight * Tensor(self.mask)
+        output = inputs @ masked_weight
+        if self.bias is not None:
+            output = output + self.bias
+        return output
+
+
+class Embedding(Module):
+    """Lookup table mapping integer codes to dense vectors."""
+
+    def __init__(self, num_embeddings: int, embedding_dim: int,
+                 rng: np.random.Generator | None = None) -> None:
+        super().__init__()
+        rng = rng or np.random.default_rng()
+        self.num_embeddings = num_embeddings
+        self.embedding_dim = embedding_dim
+        scale = 1.0 / np.sqrt(embedding_dim)
+        self.weight = Tensor(rng.normal(0.0, scale, size=(num_embeddings, embedding_dim)),
+                             requires_grad=True)
+
+    def forward(self, indices: np.ndarray) -> Tensor:
+        indices = np.asarray(indices, dtype=np.int64)
+        if indices.min(initial=0) < 0 or indices.max(initial=0) >= self.num_embeddings:
+            raise IndexError("embedding index out of range")
+        return self.weight[indices]
+
+
+class ReLU(Module):
+    """Rectified linear unit."""
+
+    def forward(self, inputs: Tensor) -> Tensor:
+        return inputs.relu()
+
+
+class Tanh(Module):
+    """Hyperbolic tangent activation."""
+
+    def forward(self, inputs: Tensor) -> Tensor:
+        return inputs.tanh()
+
+
+class Sigmoid(Module):
+    """Logistic sigmoid activation."""
+
+    def forward(self, inputs: Tensor) -> Tensor:
+        return inputs.sigmoid()
+
+
+class Identity(Module):
+    """No-op layer, useful as a placeholder."""
+
+    def forward(self, inputs: Tensor) -> Tensor:
+        return inputs
+
+
+class Sequential(Module):
+    """Chain of modules applied in order."""
+
+    def __init__(self, *modules: Module) -> None:
+        super().__init__()
+        self._layers: list[Module] = []
+        for index, module in enumerate(modules):
+            setattr(self, f"layer{index}", module)
+            self._layers.append(module)
+
+    def __iter__(self) -> Iterator[Module]:
+        return iter(self._layers)
+
+    def __len__(self) -> int:
+        return len(self._layers)
+
+    def forward(self, inputs: Tensor) -> Tensor:
+        output = inputs
+        for layer in self._layers:
+            output = layer(output)
+        return output
+
+
+class LSTMCell(Module):
+    """A single LSTM cell (used by the RNN MPSN variant)."""
+
+    def __init__(self, input_size: int, hidden_size: int,
+                 rng: np.random.Generator | None = None) -> None:
+        super().__init__()
+        rng = rng or np.random.default_rng()
+        self.input_size = input_size
+        self.hidden_size = hidden_size
+        self.weight_ih = Tensor(init.xavier_uniform(input_size, 4 * hidden_size, rng=rng),
+                                requires_grad=True)
+        self.weight_hh = Tensor(init.xavier_uniform(hidden_size, 4 * hidden_size, rng=rng),
+                                requires_grad=True)
+        self.bias = Tensor(np.zeros(4 * hidden_size), requires_grad=True)
+
+    def forward(self, inputs: Tensor, state: tuple[Tensor, Tensor] | None = None
+                ) -> tuple[Tensor, Tensor]:
+        batch = inputs.shape[0]
+        if state is None:
+            hidden = Tensor(np.zeros((batch, self.hidden_size)))
+            cell = Tensor(np.zeros((batch, self.hidden_size)))
+        else:
+            hidden, cell = state
+        gates = inputs @ self.weight_ih + hidden @ self.weight_hh + self.bias
+        h = self.hidden_size
+        input_gate = gates[:, 0:h].sigmoid()
+        forget_gate = gates[:, h:2 * h].sigmoid()
+        candidate = gates[:, 2 * h:3 * h].tanh()
+        output_gate = gates[:, 3 * h:4 * h].sigmoid()
+        new_cell = forget_gate * cell + input_gate * candidate
+        new_hidden = output_gate * new_cell.tanh()
+        return new_hidden, new_cell
+
+
+class LSTM(Module):
+    """Multi-layer LSTM that consumes a sequence and returns per-step outputs."""
+
+    def __init__(self, input_size: int, hidden_size: int, num_layers: int = 1,
+                 rng: np.random.Generator | None = None) -> None:
+        super().__init__()
+        self.input_size = input_size
+        self.hidden_size = hidden_size
+        self.num_layers = num_layers
+        self._cells: list[LSTMCell] = []
+        for layer in range(num_layers):
+            cell = LSTMCell(input_size if layer == 0 else hidden_size, hidden_size, rng=rng)
+            setattr(self, f"cell{layer}", cell)
+            self._cells.append(cell)
+
+    def forward(self, sequence: list[Tensor]) -> list[Tensor]:
+        """Run the LSTM over ``sequence`` (a list of ``(batch, input)`` tensors)."""
+        outputs: list[Tensor] = []
+        states: list[tuple[Tensor, Tensor] | None] = [None] * self.num_layers
+        for step_input in sequence:
+            current = step_input
+            for layer, cell in enumerate(self._cells):
+                hidden, cell_state = cell(current, states[layer])
+                states[layer] = (hidden, cell_state)
+                current = hidden
+            outputs.append(current)
+        return outputs

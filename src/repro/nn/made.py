@@ -1,0 +1,186 @@
+"""Masked autoregressive networks (MADE and ResMADE).
+
+Both Duet and the Naru / UAE baselines are built on MADE [Germain et al.,
+2015]: a feed-forward network whose weight masks enforce that the output
+block for column ``i`` only depends on the input blocks of columns ``< i``.
+
+The network is *column-blocked*: each column ``i`` owns a contiguous slice of
+the input vector (its encoded value for Naru, its encoded predicate for Duet)
+and a contiguous slice of the output vector (logits over the column's
+distinct values).  ``ColumnBlockSpec`` records those slices so that callers
+can encode inputs and decode outputs without duplicating offset arithmetic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .layers import MaskedLinear, Module
+from .tensor import Tensor
+
+__all__ = ["ColumnBlockSpec", "MADE"]
+
+
+@dataclass(frozen=True)
+class ColumnBlockSpec:
+    """Input/output slice owned by one column in a column-blocked MADE."""
+
+    column_index: int
+    input_start: int
+    input_end: int
+    output_start: int
+    output_end: int
+
+    @property
+    def input_width(self) -> int:
+        return self.input_end - self.input_start
+
+    @property
+    def output_width(self) -> int:
+        return self.output_end - self.output_start
+
+
+class MADE(Module):
+    """Column-blocked Masked Autoencoder for Distribution Estimation.
+
+    Parameters
+    ----------
+    input_bins:
+        Encoded input width of each column (predicate encoding width for
+        Duet, value encoding width for Naru).
+    output_bins:
+        Number of distinct values of each column; the output block for
+        column ``i`` holds that many logits.
+    hidden_sizes:
+        Sizes of the hidden layers, e.g. ``[512, 256, 512, 128, 1024]`` for
+        the paper's DMV configuration.
+    residual:
+        When True, add identity skip connections between consecutive hidden
+        layers of equal width (the "ResMADE" variant used for Kddcup98 and
+        Census in the paper).
+    """
+
+    def __init__(
+        self,
+        input_bins: list[int],
+        output_bins: list[int],
+        hidden_sizes: list[int],
+        residual: bool = False,
+        seed: int | None = 0,
+    ) -> None:
+        super().__init__()
+        if len(input_bins) != len(output_bins):
+            raise ValueError("input_bins and output_bins must describe the same columns")
+        if not input_bins:
+            raise ValueError("at least one column is required")
+        if any(width <= 0 for width in input_bins + output_bins):
+            raise ValueError("all block widths must be positive")
+
+        self.input_bins = list(input_bins)
+        self.output_bins = list(output_bins)
+        self.hidden_sizes = list(hidden_sizes)
+        self.residual = residual
+        self.num_columns = len(input_bins)
+
+        rng = np.random.default_rng(seed)
+
+        self.blocks = self._build_block_specs()
+        self.total_input = sum(input_bins)
+        self.total_output = sum(output_bins)
+
+        input_degrees = np.concatenate(
+            [np.full(width, index) for index, width in enumerate(input_bins)])
+        output_degrees = np.concatenate(
+            [np.full(width, index) for index, width in enumerate(output_bins)])
+
+        # Hidden-unit degrees cycle over 0..N-2 so that every conditional
+        # P(C_i | . < i) for i >= 1 has hidden capacity.  With a single
+        # column there is nothing to condition on and all masks to the
+        # output are zero (the output is learned through the bias alone).
+        max_degree = max(self.num_columns - 1, 1)
+        hidden_degrees = [
+            np.arange(size) % max_degree for size in hidden_sizes
+        ]
+
+        self._layers: list[MaskedLinear] = []
+        previous_degrees = input_degrees
+        previous_size = self.total_input
+        for layer_index, size in enumerate(hidden_sizes):
+            layer = MaskedLinear(previous_size, size, rng=rng)
+            degrees = hidden_degrees[layer_index]
+            mask = (degrees[None, :] >= previous_degrees[:, None]).astype(np.float64)
+            layer.set_mask(mask)
+            setattr(self, f"hidden{layer_index}", layer)
+            self._layers.append(layer)
+            previous_degrees = degrees
+            previous_size = size
+
+        self.output_layer = MaskedLinear(previous_size, self.total_output, rng=rng)
+        output_mask = (output_degrees[None, :] > previous_degrees[:, None]).astype(np.float64)
+        self.output_layer.set_mask(output_mask)
+
+        self._hidden_degrees = hidden_degrees
+
+    # ------------------------------------------------------------------
+    def _build_block_specs(self) -> list[ColumnBlockSpec]:
+        blocks: list[ColumnBlockSpec] = []
+        input_offset = 0
+        output_offset = 0
+        for index, (in_width, out_width) in enumerate(zip(self.input_bins, self.output_bins)):
+            blocks.append(ColumnBlockSpec(
+                column_index=index,
+                input_start=input_offset,
+                input_end=input_offset + in_width,
+                output_start=output_offset,
+                output_end=output_offset + out_width,
+            ))
+            input_offset += in_width
+            output_offset += out_width
+        return blocks
+
+    # ------------------------------------------------------------------
+    def forward(self, inputs: Tensor) -> Tensor:
+        """Map a batch of encoded inputs to concatenated per-column logits."""
+        if inputs.shape[-1] != self.total_input:
+            raise ValueError(f"expected input width {self.total_input}, "
+                             f"got {inputs.shape[-1]}")
+        hidden = inputs
+        previous: Tensor | None = None
+        for layer_index, layer in enumerate(self._layers):
+            pre_activation = layer(hidden)
+            activated = pre_activation.relu()
+            can_skip = (
+                self.residual
+                and previous is not None
+                and previous.shape[-1] == activated.shape[-1]
+                and np.array_equal(self._hidden_degrees[layer_index - 1],
+                                   self._hidden_degrees[layer_index])
+            )
+            if can_skip:
+                activated = activated + previous
+            previous = activated
+            hidden = activated
+        return self.output_layer(hidden)
+
+    # ------------------------------------------------------------------
+    def column_logits(self, outputs: Tensor, column_index: int) -> Tensor:
+        """Slice the logits block of ``column_index`` out of the full output."""
+        block = self.blocks[column_index]
+        return outputs[..., block.output_start:block.output_end]
+
+    def autoregressive_mask_matrix(self) -> np.ndarray:
+        """Return the end-to-end connectivity matrix (inputs x outputs).
+
+        Entry ``(i, o)`` is nonzero when input unit ``i`` can influence output
+        unit ``o``.  Tests use this to verify the autoregressive property:
+        the output block of column ``c`` must have zero connectivity to the
+        input blocks of columns ``>= c``.
+        """
+        connectivity = self._layers[0].mask if self._layers else None
+        if connectivity is None:
+            return self.output_layer.mask
+        for layer in self._layers[1:]:
+            connectivity = connectivity @ layer.mask
+        return connectivity @ self.output_layer.mask

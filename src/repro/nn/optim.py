@@ -1,0 +1,105 @@
+"""Gradient-descent optimisers (SGD with momentum, Adam)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .tensor import Tensor
+
+__all__ = ["Optimizer", "SGD", "Adam", "clip_grad_norm"]
+
+
+class Optimizer:
+    """Base class holding a parameter list and the zero-grad helper."""
+
+    def __init__(self, parameters) -> None:
+        self.parameters: list[Tensor] = list(parameters)
+        if not self.parameters:
+            raise ValueError("optimizer received no parameters")
+
+    def zero_grad(self) -> None:
+        for parameter in self.parameters:
+            parameter.zero_grad()
+
+    def step(self) -> None:
+        raise NotImplementedError
+
+
+class SGD(Optimizer):
+    """Stochastic gradient descent with optional momentum and weight decay."""
+
+    def __init__(self, parameters, lr: float = 1e-2, momentum: float = 0.0,
+                 weight_decay: float = 0.0) -> None:
+        super().__init__(parameters)
+        if lr <= 0:
+            raise ValueError("learning rate must be positive")
+        self.lr = lr
+        self.momentum = momentum
+        self.weight_decay = weight_decay
+        self._velocity = [np.zeros_like(p.data) for p in self.parameters]
+
+    def step(self) -> None:
+        for parameter, velocity in zip(self.parameters, self._velocity):
+            if parameter.grad is None:
+                continue
+            gradient = parameter.grad
+            if self.weight_decay:
+                gradient = gradient + self.weight_decay * parameter.data
+            if self.momentum:
+                velocity *= self.momentum
+                velocity += gradient
+                update = velocity
+            else:
+                update = gradient
+            parameter.data = parameter.data - self.lr * update
+
+
+class Adam(Optimizer):
+    """Adam optimiser (Kingma & Ba, 2015), the paper's default."""
+
+    def __init__(self, parameters, lr: float = 2e-3, betas: tuple[float, float] = (0.9, 0.999),
+                 eps: float = 1e-8, weight_decay: float = 0.0) -> None:
+        super().__init__(parameters)
+        if lr <= 0:
+            raise ValueError("learning rate must be positive")
+        self.lr = lr
+        self.beta1, self.beta2 = betas
+        self.eps = eps
+        self.weight_decay = weight_decay
+        self._step_count = 0
+        self._first_moment = [np.zeros_like(p.data) for p in self.parameters]
+        self._second_moment = [np.zeros_like(p.data) for p in self.parameters]
+
+    def step(self) -> None:
+        self._step_count += 1
+        bias_correction1 = 1.0 - self.beta1 ** self._step_count
+        bias_correction2 = 1.0 - self.beta2 ** self._step_count
+        for parameter, first, second in zip(self.parameters, self._first_moment,
+                                            self._second_moment):
+            if parameter.grad is None:
+                continue
+            gradient = parameter.grad
+            if self.weight_decay:
+                gradient = gradient + self.weight_decay * parameter.data
+            first *= self.beta1
+            first += (1.0 - self.beta1) * gradient
+            second *= self.beta2
+            second += (1.0 - self.beta2) * gradient ** 2
+            corrected_first = first / bias_correction1
+            corrected_second = second / bias_correction2
+            parameter.data = parameter.data - self.lr * corrected_first / (
+                np.sqrt(corrected_second) + self.eps)
+
+
+def clip_grad_norm(parameters, max_norm: float) -> float:
+    """Scale gradients in place so their global L2 norm is at most ``max_norm``.
+
+    Returns the norm before clipping (useful for monitoring).
+    """
+    parameters = [p for p in parameters if p.grad is not None]
+    total = float(np.sqrt(sum(float((p.grad ** 2).sum()) for p in parameters)))
+    if total > max_norm and total > 0:
+        scale = max_norm / total
+        for parameter in parameters:
+            parameter.grad = parameter.grad * scale
+    return total

@@ -1,0 +1,43 @@
+"""Saving and loading model parameters with plain ``numpy.savez`` archives."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from .layers import Module
+
+__all__ = ["save_module", "load_module"]
+
+
+def save_module(module: Module, path: str | Path, metadata: dict | None = None) -> Path:
+    """Serialise ``module``'s parameters (and optional JSON metadata) to ``path``.
+
+    The file is a standard ``.npz`` archive; metadata is stored under the
+    reserved key ``__metadata__`` as a JSON string.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    state = module.state_dict()
+    payload = {key.replace(".", "/"): value for key, value in state.items()}
+    payload["__metadata__"] = np.array(json.dumps(metadata or {}))
+    np.savez(path, **payload)
+    return path if path.suffix == ".npz" else path.with_suffix(path.suffix + ".npz")
+
+
+def load_module(module: Module, path: str | Path) -> dict:
+    """Load parameters saved by :func:`save_module` into ``module``.
+
+    Returns the metadata dictionary stored alongside the parameters.
+    """
+    path = Path(path)
+    if not path.exists() and path.with_suffix(path.suffix + ".npz").exists():
+        path = path.with_suffix(path.suffix + ".npz")
+    with np.load(path, allow_pickle=False) as archive:
+        metadata = json.loads(str(archive["__metadata__"]))
+        state = {key.replace("/", "."): archive[key]
+                 for key in archive.files if key != "__metadata__"}
+    module.load_state_dict(state)
+    return metadata

@@ -1,0 +1,29 @@
+"""Query and workload substrate: predicates, queries, ground truth, generators."""
+
+from .executor import cardinality, execute, selectivity, true_cardinalities
+from .generator import (
+    WorkloadConfig,
+    WorkloadGenerator,
+    make_inworkload,
+    make_multi_predicate_workload,
+    make_random_workload,
+)
+from .predicates import Operator, Predicate
+from .query import Query
+from .workload import Workload
+
+__all__ = [
+    "Operator",
+    "Predicate",
+    "Query",
+    "Workload",
+    "execute",
+    "cardinality",
+    "selectivity",
+    "true_cardinalities",
+    "WorkloadConfig",
+    "WorkloadGenerator",
+    "make_random_workload",
+    "make_inworkload",
+    "make_multi_predicate_workload",
+]

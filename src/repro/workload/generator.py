@@ -1,0 +1,204 @@
+"""Workload generation following the paper's protocol (§V-A2).
+
+Queries are *tuple-anchored*: a tuple is sampled from the table and each
+predicate is generated so that the sampled tuple satisfies it (operator
+chosen at random, literal taken from the tuple).  This is the protocol used
+by Naru and the "Are We Ready For Learned Cardinality Estimation?" benchmark
+and yields a wide range of selectivities.
+
+Two workload flavours are produced:
+
+* **Rand-Q** ("random queries"): the number of predicates is uniform over
+  ``[1, num_columns]`` and values are unrestricted — the worst case where
+  incoming queries are unrelated to anything seen in training.
+* **In-Q / training workloads** ("in-workload queries"): one large column is
+  *bounded* (predicate literals for it are drawn from a fixed 1% sample of
+  its distinct values) and the number of predicates follows a gamma
+  distribution, simulating the locality and skew of production workloads.
+
+A multi-predicate generator (two-sided ranges on a column) is provided for
+the MPSN experiments (Table I).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..data.column import Column
+from ..data.table import Table
+from .predicates import Operator, Predicate
+from .query import Query
+from .workload import Workload
+
+__all__ = [
+    "WorkloadConfig",
+    "WorkloadGenerator",
+    "make_random_workload",
+    "make_inworkload",
+    "make_multi_predicate_workload",
+]
+
+_SINGLE_SIDED_OPERATORS = [Operator.EQ, Operator.GE, Operator.LE, Operator.GT, Operator.LT]
+
+
+@dataclass(frozen=True)
+class WorkloadConfig:
+    """Knobs of the workload generator."""
+
+    num_queries: int = 2_000
+    seed: int = 1234
+    bounded_column: bool = False
+    bounded_fraction: float = 0.01
+    gamma_shape: float = 2.0
+    gamma_scale: float = 1.5
+    min_predicates: int = 1
+    max_predicates: int | None = None
+    operators: tuple[Operator, ...] = tuple(_SINGLE_SIDED_OPERATORS)
+    max_predicates_per_column: int = 1
+
+
+class WorkloadGenerator:
+    """Tuple-anchored workload generator for one table."""
+
+    def __init__(self, table: Table, config: WorkloadConfig) -> None:
+        self.table = table
+        self.config = config
+        self._rng = np.random.default_rng(config.seed)
+        self._codes = table.code_matrix()
+        self._bounded_column_index: int | None = None
+        self._bounded_values: np.ndarray | None = None
+        if config.bounded_column:
+            self._choose_bounded_column()
+
+    # ------------------------------------------------------------------
+    def _choose_bounded_column(self) -> None:
+        """Pick a large-NDV column and freeze 1% of its distinct values.
+
+        Mirrors the paper: "We randomly choose a large enough column and
+        sample 1% of its distinct values as a bounded column, so the model
+        will only be trained on limited predicates."
+        """
+        ndvs = np.array(self.table.cardinalities)
+        candidates = np.argsort(ndvs)[::-1]
+        self._bounded_column_index = int(candidates[0])
+        column = self.table.column(self._bounded_column_index)
+        count = max(1, int(np.ceil(column.num_distinct * self.config.bounded_fraction)))
+        self._bounded_values = self._rng.choice(column.num_distinct, size=count, replace=False)
+
+    # ------------------------------------------------------------------
+    def _num_predicates(self) -> int:
+        maximum = self.config.max_predicates or self.table.num_columns
+        maximum = min(maximum, self.table.num_columns)
+        minimum = min(self.config.min_predicates, maximum)
+        if self.config.bounded_column:
+            # Gamma-distributed count simulates the skew of real workloads.
+            drawn = 1 + int(self._rng.gamma(self.config.gamma_shape, self.config.gamma_scale))
+            return int(np.clip(drawn, minimum, maximum))
+        return int(self._rng.integers(minimum, maximum + 1))
+
+    def _anchor_row(self) -> np.ndarray:
+        row_index = int(self._rng.integers(0, self.table.num_rows))
+        return self._codes[row_index]
+
+    def _predicate_for(self, column_index: int, anchor_code: int) -> Predicate:
+        """One predicate that the anchor tuple satisfies.
+
+        For ``=``, ``>=``, ``<=`` the anchor's own value is the literal.  For
+        the strict operators the literal is drawn from the codes strictly
+        below (``>``) or above (``<``) the anchor so the anchor still
+        qualifies; when no such code exists the operator degrades to its
+        non-strict counterpart, mirroring Algorithm 1's bound handling.
+        """
+        column = self.table.column(column_index)
+        operator = self.config.operators[self._rng.integers(0, len(self.config.operators))]
+        code = anchor_code
+        if (self._bounded_column_index == column_index
+                and self._bounded_values is not None):
+            # Bounded column: the literal must come from the frozen 1% value
+            # sample, whatever the operator (the anchor may then not match).
+            code = int(self._rng.choice(self._bounded_values))
+            return Predicate(column.name, operator, column.value_of(code))
+        if operator is Operator.GT:
+            if code == 0:
+                operator = Operator.GE
+            else:
+                code = int(self._rng.integers(0, code))
+        elif operator is Operator.LT:
+            if code == column.num_distinct - 1:
+                operator = Operator.LE
+            else:
+                code = int(self._rng.integers(code + 1, column.num_distinct))
+        value = column.value_of(code)
+        return Predicate(column.name, operator, value)
+
+    def generate_query(self, num_predicates: int | None = None) -> Query:
+        """Generate one query anchored on a random tuple."""
+        anchor = self._anchor_row()
+        count = num_predicates if num_predicates is not None else self._num_predicates()
+        count = int(np.clip(count, 1, self.table.num_columns))
+        column_indices = self._rng.choice(self.table.num_columns, size=count, replace=False)
+        predicates = []
+        for column_index in sorted(column_indices):
+            predicates.extend(self._column_predicates(int(column_index),
+                                                      int(anchor[column_index])))
+        return Query(predicates)
+
+    def _column_predicates(self, column_index: int, anchor_code: int) -> list[Predicate]:
+        """One or several predicates on a single column.
+
+        With ``max_predicates_per_column > 1`` a two-sided range around the
+        anchor value may be emitted, which is the workload the MPSN
+        experiments need.
+        """
+        column = self.table.column(column_index)
+        how_many = 1
+        if self.config.max_predicates_per_column > 1:
+            how_many = int(self._rng.integers(1, self.config.max_predicates_per_column + 1))
+        if how_many == 1:
+            return [self._predicate_for(column_index, anchor_code)]
+        low_code = int(self._rng.integers(0, anchor_code + 1))
+        high_code = int(self._rng.integers(anchor_code, column.num_distinct))
+        return [
+            Predicate(column.name, Operator.GE, column.value_of(low_code)),
+            Predicate(column.name, Operator.LE, column.value_of(high_code)),
+        ]
+
+    # ------------------------------------------------------------------
+    def generate(self, name: str, label: bool = True) -> Workload:
+        """Generate the configured number of queries as a :class:`Workload`."""
+        queries = [self.generate_query() for _ in range(self.config.num_queries)]
+        workload = Workload(name, queries)
+        if label:
+            workload.label(self.table)
+        return workload
+
+
+# ----------------------------------------------------------------------
+# Convenience constructors mirroring the paper's three workloads
+# ----------------------------------------------------------------------
+
+def make_random_workload(table: Table, num_queries: int = 2_000, seed: int = 1234,
+                         max_predicates: int | None = None, label: bool = True) -> Workload:
+    """The paper's Rand-Q testing workload (seed 1234, uniform predicate count)."""
+    config = WorkloadConfig(num_queries=num_queries, seed=seed, bounded_column=False,
+                            max_predicates=max_predicates)
+    return WorkloadGenerator(table, config).generate(f"{table.name}-rand-q", label=label)
+
+
+def make_inworkload(table: Table, num_queries: int = 2_000, seed: int = 42,
+                    max_predicates: int | None = None, label: bool = True) -> Workload:
+    """The paper's training / In-Q workload (seed 42, bounded column, gamma counts)."""
+    config = WorkloadConfig(num_queries=num_queries, seed=seed, bounded_column=True,
+                            max_predicates=max_predicates)
+    return WorkloadGenerator(table, config).generate(f"{table.name}-in-q", label=label)
+
+
+def make_multi_predicate_workload(table: Table, num_queries: int = 500, seed: int = 7,
+                                  max_predicates_per_column: int = 2,
+                                  label: bool = True) -> Workload:
+    """Workload with up to two predicates per column (MPSN evaluation, Table I)."""
+    config = WorkloadConfig(num_queries=num_queries, seed=seed, bounded_column=False,
+                            max_predicates_per_column=max_predicates_per_column)
+    return WorkloadGenerator(table, config).generate(f"{table.name}-multi-pred", label=label)

@@ -1,0 +1,110 @@
+"""Predicate model: operators, single predicates, and code-space translation.
+
+A predicate constrains one column with one operator from
+``{=, >, <, >=, <=}`` and one literal value (the paper's §III definition).
+Estimators work in dictionary-code space, so this module also provides the
+translation from a raw-value predicate to (a) a boolean mask over a column's
+distinct values and (b) an inclusive code interval — the two forms used by
+Duet's zero-out mask, Naru's progressive sampling, and the ground-truth
+executor.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+import numpy as np
+
+from ..data.column import Column
+
+__all__ = ["Operator", "Predicate"]
+
+
+class Operator(str, Enum):
+    """Supported predicate operators."""
+
+    EQ = "="
+    GT = ">"
+    LT = "<"
+    GE = ">="
+    LE = "<="
+
+    @classmethod
+    def from_string(cls, text: str) -> "Operator":
+        for operator in cls:
+            if operator.value == text:
+                return operator
+        raise ValueError(f"unknown operator {text!r}")
+
+    @property
+    def index(self) -> int:
+        """Stable integer id used by one-hot encodings (paper's numbering)."""
+        return _OPERATOR_ORDER.index(self)
+
+
+_OPERATOR_ORDER = [Operator.EQ, Operator.GT, Operator.LT, Operator.GE, Operator.LE]
+
+
+@dataclass(frozen=True)
+class Predicate:
+    """A single predicate ``column <op> value`` on raw values."""
+
+    column: str
+    operator: Operator
+    value: object
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.operator, Operator):
+            object.__setattr__(self, "operator", Operator.from_string(str(self.operator)))
+        # Normalise NumPy scalars to plain Python values so that predicates
+        # serialise cleanly and compare equal after a save/load roundtrip.
+        if isinstance(self.value, np.generic):
+            object.__setattr__(self, "value", self.value.item())
+
+    # ------------------------------------------------------------------
+    def code_interval(self, column: Column) -> tuple[int, int]:
+        """Translate to an inclusive code interval ``[low, high]``.
+
+        An empty interval is returned as ``(1, 0)`` (low > high).  The code
+        interval form exists because dictionary codes are assigned in value
+        order, so every operator maps to one contiguous interval.
+        """
+        left = column.searchsorted(self.value, side="left")
+        right = column.searchsorted(self.value, side="right")
+        last = column.num_distinct - 1
+        if self.operator is Operator.EQ:
+            if left == right:  # value not present in the domain
+                return (1, 0)
+            return (left, right - 1)
+        if self.operator is Operator.GT:
+            return (right, last)
+        if self.operator is Operator.GE:
+            return (left, last)
+        if self.operator is Operator.LT:
+            return (0, left - 1)
+        if self.operator is Operator.LE:
+            return (0, right - 1)
+        raise AssertionError(f"unhandled operator {self.operator}")
+
+    def valid_value_mask(self, column: Column) -> np.ndarray:
+        """Boolean mask over the column's distinct values (length = NDV).
+
+        This is ``Pred_i(R_i, v_i)`` from the paper: 1 for distinct values
+        that satisfy the predicate, 0 otherwise.
+        """
+        low, high = self.code_interval(column)
+        mask = np.zeros(column.num_distinct, dtype=bool)
+        if low <= high:
+            mask[low:high + 1] = True
+        return mask
+
+    def evaluate_codes(self, column: Column, codes: np.ndarray) -> np.ndarray:
+        """Boolean mask over ``codes`` (rows) that satisfy this predicate."""
+        low, high = self.code_interval(column)
+        if low > high:
+            return np.zeros(codes.shape, dtype=bool)
+        return (codes >= low) & (codes <= high)
+
+    def __str__(self) -> str:
+        return f"{self.column} {self.operator.value} {self.value!r}"

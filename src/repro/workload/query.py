@@ -1,0 +1,76 @@
+"""Query model: a conjunction of predicates over one table."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+from ..data.table import Table
+from .predicates import Operator, Predicate
+
+__all__ = ["Query"]
+
+
+@dataclass(frozen=True)
+class Query:
+    """A conjunctive selection query.
+
+    Multiple predicates on the same column are allowed (e.g.
+    ``age >= 20 AND age <= 30``); that is the case Duet's MPSN component
+    (§IV-F of the paper) exists to handle.
+    """
+
+    predicates: tuple[Predicate, ...]
+
+    def __init__(self, predicates: Iterable[Predicate]) -> None:
+        object.__setattr__(self, "predicates", tuple(predicates))
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_triples(cls, triples: Sequence[tuple[str, str, object]]) -> "Query":
+        """Build a query from ``(column, operator, value)`` triples."""
+        return cls(Predicate(column, Operator.from_string(op), value)
+                   for column, op, value in triples)
+
+    # ------------------------------------------------------------------
+    @property
+    def num_predicates(self) -> int:
+        return len(self.predicates)
+
+    @property
+    def columns(self) -> list[str]:
+        """Names of the constrained columns, in predicate order, deduplicated."""
+        seen: list[str] = []
+        for predicate in self.predicates:
+            if predicate.column not in seen:
+                seen.append(predicate.column)
+        return seen
+
+    def predicates_on(self, column: str) -> list[Predicate]:
+        """All predicates constraining ``column``."""
+        return [predicate for predicate in self.predicates if predicate.column == column]
+
+    def max_predicates_per_column(self) -> int:
+        if not self.predicates:
+            return 0
+        return max(len(self.predicates_on(column)) for column in self.columns)
+
+    # ------------------------------------------------------------------
+    def validate(self, table: Table) -> None:
+        """Raise if the query references columns the table does not have."""
+        known = set(table.column_names)
+        unknown = [predicate.column for predicate in self.predicates
+                   if predicate.column not in known]
+        if unknown:
+            raise KeyError(f"query references unknown columns {sorted(set(unknown))} "
+                           f"of table {table.name!r}")
+        if not self.predicates:
+            raise ValueError("a query must contain at least one predicate")
+
+    def __str__(self) -> str:
+        if not self.predicates:
+            return "TRUE"
+        return " AND ".join(str(predicate) for predicate in self.predicates)
+
+    def __len__(self) -> int:
+        return len(self.predicates)

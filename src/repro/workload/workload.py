@@ -1,0 +1,109 @@
+"""Workload container: a named list of queries with optional true labels."""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterator, Sequence
+
+import numpy as np
+
+from ..data.table import Table
+from . import executor
+from .predicates import Operator, Predicate
+from .query import Query
+
+__all__ = ["Workload"]
+
+
+@dataclass
+class Workload:
+    """A list of queries plus (optionally) their true cardinalities."""
+
+    name: str
+    queries: list[Query]
+    cardinalities: np.ndarray | None = None
+
+    def __post_init__(self) -> None:
+        if self.cardinalities is not None:
+            self.cardinalities = np.asarray(self.cardinalities, dtype=np.int64)
+            if len(self.cardinalities) != len(self.queries):
+                raise ValueError("cardinalities and queries must have the same length")
+
+    # ------------------------------------------------------------------
+    def label(self, table: Table) -> "Workload":
+        """Compute and attach exact cardinalities (in place), return self."""
+        self.cardinalities = executor.true_cardinalities(table, self.queries)
+        return self
+
+    @property
+    def is_labeled(self) -> bool:
+        return self.cardinalities is not None
+
+    def selectivities(self, table: Table) -> np.ndarray:
+        """True selectivities; labels are computed on demand if missing."""
+        if not self.is_labeled:
+            self.label(table)
+        return self.cardinalities / max(table.num_rows, 1)
+
+    # ------------------------------------------------------------------
+    def subset(self, indices: Sequence[int], name: str | None = None) -> "Workload":
+        """Return a new workload with the given query indices."""
+        queries = [self.queries[index] for index in indices]
+        cards = None
+        if self.cardinalities is not None:
+            cards = self.cardinalities[np.asarray(indices, dtype=np.int64)]
+        return Workload(name or f"{self.name}_subset", queries, cards)
+
+    def batches(self, batch_size: int) -> Iterator["Workload"]:
+        """Yield consecutive batches (used by hybrid training)."""
+        for start in range(0, len(self.queries), batch_size):
+            yield self.subset(range(start, min(start + batch_size, len(self.queries))))
+
+    # ------------------------------------------------------------------
+    def save(self, path: str | Path) -> Path:
+        """Serialise to JSON (queries as triples, labels if present)."""
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        payload = {
+            "name": self.name,
+            "queries": [
+                [[predicate.column, predicate.operator.value, _jsonable(predicate.value)]
+                 for predicate in query.predicates]
+                for query in self.queries
+            ],
+            "cardinalities": (self.cardinalities.tolist()
+                              if self.cardinalities is not None else None),
+        }
+        path.write_text(json.dumps(payload))
+        return path
+
+    @classmethod
+    def load(cls, path: str | Path) -> "Workload":
+        """Load a workload saved by :meth:`save`."""
+        payload = json.loads(Path(path).read_text())
+        queries = [
+            Query(Predicate(column, Operator.from_string(op), value)
+                  for column, op, value in triples)
+            for triples in payload["queries"]
+        ]
+        cards = payload.get("cardinalities")
+        return cls(payload["name"], queries,
+                   np.asarray(cards, dtype=np.int64) if cards is not None else None)
+
+    def __len__(self) -> int:
+        return len(self.queries)
+
+    def __iter__(self) -> Iterator[Query]:
+        return iter(self.queries)
+
+
+def _jsonable(value):
+    if isinstance(value, (np.integer,)):
+        return int(value)
+    if isinstance(value, (np.floating,)):
+        return float(value)
+    if isinstance(value, np.str_):
+        return str(value)
+    return value

@@ -1,0 +1,242 @@
+"""Tests for all baseline estimators (traditional, query-driven, data-driven, hybrid)."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    DeepDBEstimator,
+    IndependenceEstimator,
+    MHistEstimator,
+    MSCNEstimator,
+    NaruEstimator,
+    SamplingEstimator,
+    UAEEstimator,
+)
+from repro.data import Table
+from repro.workload import Query, cardinality, make_inworkload, make_random_workload
+
+
+@pytest.fixture(scope="module")
+def table():
+    """Small correlated table shared by all baseline tests."""
+    rng = np.random.default_rng(0)
+    a = rng.integers(0, 10, size=600)
+    b = (a + rng.integers(0, 3, size=600)) % 10   # correlated with a
+    c = rng.integers(0, 4, size=600)              # independent
+    return Table.from_dict("corr", {"a": a, "b": b, "c": c})
+
+
+@pytest.fixture(scope="module")
+def workload(table):
+    return make_random_workload(table, num_queries=60, seed=7)
+
+
+def qerror(estimate, actual):
+    estimate = max(float(estimate), 1.0)
+    actual = max(float(actual), 1.0)
+    return max(estimate / actual, actual / estimate)
+
+
+class TestSampling:
+    def test_full_sample_is_exact(self, table, workload):
+        estimator = SamplingEstimator(table, sample_fraction=1.0)
+        for query, truth in zip(workload.queries[:20], workload.cardinalities[:20]):
+            assert estimator.estimate(query) == pytest.approx(truth)
+
+    def test_partial_sample_roughly_right(self, table):
+        estimator = SamplingEstimator(table, sample_fraction=0.3, seed=1)
+        query = Query.from_triples([("a", "<=", 5)])
+        truth = cardinality(table, query)
+        assert qerror(estimator.estimate(query), truth) < 2.0
+
+    def test_invalid_fraction(self, table):
+        with pytest.raises(ValueError):
+            SamplingEstimator(table, sample_fraction=0.0)
+
+    def test_size_scales_with_fraction(self, table):
+        small = SamplingEstimator(table, sample_fraction=0.01)
+        large = SamplingEstimator(table, sample_fraction=0.5)
+        assert small.size_bytes() < large.size_bytes()
+
+
+class TestIndependence:
+    def test_single_column_exact(self, table):
+        estimator = IndependenceEstimator(table)
+        query = Query.from_triples([("a", ">=", 4)])
+        assert estimator.estimate(query) == pytest.approx(cardinality(table, query))
+
+    def test_independent_columns_nearly_exact(self, table):
+        estimator = IndependenceEstimator(table)
+        query = Query.from_triples([("a", "<=", 4), ("c", "=", 1)])
+        truth = cardinality(table, query)
+        assert qerror(estimator.estimate(query), truth) < 1.6
+
+    def test_unsatisfiable_predicate(self, table):
+        estimator = IndependenceEstimator(table)
+        assert estimator.estimate(Query.from_triples([("a", "=", 99)])) == 0.0
+
+    def test_multiple_predicates_same_column(self, table):
+        estimator = IndependenceEstimator(table)
+        query = Query.from_triples([("a", ">=", 2), ("a", "<=", 5)])
+        assert estimator.estimate(query) == pytest.approx(cardinality(table, query))
+
+
+class TestMHist:
+    def test_single_bucket_equals_independence_over_full_range(self, table):
+        estimator = MHistEstimator(table, num_buckets=1)
+        query = Query.from_triples([("a", "<=", 9)])
+        # One bucket spanning everything assumes uniformity: estimate = |T|.
+        assert estimator.estimate(query) == pytest.approx(table.num_rows)
+
+    def test_more_buckets_improve_single_column_accuracy(self, table):
+        query = Query.from_triples([("a", "=", 3)])
+        truth = cardinality(table, query)
+        coarse = MHistEstimator(table, num_buckets=2).estimate(query)
+        fine = MHistEstimator(table, num_buckets=300).estimate(query)
+        assert qerror(fine, truth) <= qerror(coarse, truth)
+
+    def test_reasonable_on_workload(self, table, workload):
+        estimator = MHistEstimator(table, num_buckets=200)
+        errors = [qerror(estimator.estimate(query), truth)
+                  for query, truth in zip(workload.queries, workload.cardinalities)]
+        assert np.median(errors) < 10.0
+
+    def test_invalid_bucket_count(self, table):
+        with pytest.raises(ValueError):
+            MHistEstimator(table, num_buckets=0)
+
+    def test_size_grows_with_buckets(self, table):
+        assert (MHistEstimator(table, num_buckets=50).size_bytes()
+                < MHistEstimator(table, num_buckets=200).size_bytes())
+
+
+class TestMSCN:
+    def test_training_reduces_loss(self, table, workload):
+        estimator = MSCNEstimator(table, epochs=20, seed=0)
+        estimator.fit(workload)
+        assert estimator.training_losses[-1] < estimator.training_losses[0]
+
+    def test_in_workload_accuracy_better_than_random_guess(self, table, workload):
+        estimator = MSCNEstimator(table, epochs=30, seed=0).fit(workload)
+        errors = [qerror(estimate, truth) for estimate, truth in
+                  zip(estimator.estimate_batch(workload.queries), workload.cardinalities)]
+        assert np.median(errors) < 5.0
+
+    def test_estimates_bounded(self, table, workload):
+        estimator = MSCNEstimator(table, epochs=5, seed=0).fit(workload)
+        estimates = estimator.estimate_batch(workload.queries)
+        assert (estimates >= 0).all()
+        assert (estimates <= table.num_rows).all()
+
+    def test_featurize_shapes(self, table):
+        estimator = MSCNEstimator(table)
+        queries = [Query.from_triples([("a", "=", 1)]),
+                   Query.from_triples([("a", ">=", 2), ("b", "<", 5), ("c", "=", 0)])]
+        features, presence = estimator.featurize(queries)
+        assert features.shape == (2, 3, table.num_columns + 6)
+        assert presence.sum() == 4
+
+
+class TestDeepDB:
+    def test_structure_contains_nodes(self, table):
+        estimator = DeepDBEstimator(table, min_instances=64)
+        assert estimator.num_nodes() >= table.num_columns
+
+    def test_single_column_close_to_exact(self, table):
+        estimator = DeepDBEstimator(table, min_instances=64)
+        query = Query.from_triples([("a", "<=", 4)])
+        assert qerror(estimator.estimate(query), cardinality(table, query)) < 1.5
+
+    def test_workload_accuracy_better_than_independence_on_correlated_pair(self, table):
+        """DeepDB should beat the independence assumption on correlated columns."""
+        deepdb = DeepDBEstimator(table, min_instances=64, independence_threshold=0.05)
+        indep = IndependenceEstimator(table)
+        query = Query.from_triples([("a", "<=", 2), ("b", "<=", 2)])
+        truth = cardinality(table, query)
+        assert qerror(deepdb.estimate(query), truth) <= qerror(indep.estimate(query), truth)
+
+    def test_estimates_bounded(self, table, workload):
+        estimator = DeepDBEstimator(table, min_instances=64)
+        estimates = estimator.estimate_batch(workload.queries)
+        assert (estimates >= 0).all()
+        assert (estimates <= table.num_rows).all()
+
+    def test_invalid_min_instances(self, table):
+        with pytest.raises(ValueError):
+            DeepDBEstimator(table, min_instances=1)
+
+
+class TestNaru:
+    @pytest.fixture(scope="class")
+    def trained(self, table):
+        estimator = NaruEstimator(table, hidden_sizes=(32, 32), num_samples=100,
+                                  batch_size=128, seed=0)
+        estimator.fit(epochs=3)
+        return estimator
+
+    def test_training_reduces_loss(self, trained):
+        assert trained.training_losses[-1] < trained.training_losses[0]
+
+    def test_single_column_accuracy(self, trained, table):
+        query = Query.from_triples([("a", "<=", 4)])
+        truth = cardinality(table, query)
+        assert qerror(trained.estimate(query), truth) < 2.5
+
+    def test_workload_median_qerror_reasonable(self, trained, table, workload):
+        errors = [qerror(estimate, truth) for estimate, truth in
+                  zip(trained.estimate_batch(workload.queries[:30]),
+                      workload.cardinalities[:30])]
+        assert np.median(errors) < 5.0
+
+    def test_not_deterministic_flag(self, trained):
+        assert not trained.is_deterministic
+
+    def test_breakdown_has_sampling_and_inference(self, trained, table):
+        query = Query.from_triples([("a", "<=", 4), ("b", ">=", 2)])
+        _, breakdown = trained.estimate_with_breakdown(query)
+        assert breakdown["inference"] > 0
+        assert breakdown["sampling"] > 0
+
+    def test_inference_cost_grows_with_constrained_columns(self, trained, table):
+        """The O(n) behaviour the paper criticises: more predicates, more passes."""
+        one = Query.from_triples([("a", "<=", 8)])
+        three = Query.from_triples([("a", "<=", 8), ("b", "<=", 8), ("c", "<=", 3)])
+        _, breakdown_one = trained.estimate_with_breakdown(one)
+        _, breakdown_three = trained.estimate_with_breakdown(three)
+        assert breakdown_three["inference"] > breakdown_one["inference"]
+
+
+class TestUAE:
+    def test_hybrid_fit_tracks_query_loss(self, table):
+        workload = make_inworkload(table, num_queries=30, seed=11)
+        estimator = UAEEstimator(table, hidden_sizes=(32,), num_samples=50,
+                                 num_training_samples=4, query_batch_size=4,
+                                 batch_size=256, seed=0)
+        estimator.fit(epochs=1, workload=workload)
+        assert len(estimator.query_losses) == 1
+        assert estimator.query_losses[0] > 0
+
+    def test_requires_workload_for_query_loss(self, table):
+        estimator = UAEEstimator(table, hidden_sizes=(32,), seed=0)
+        with pytest.raises(RuntimeError):
+            estimator._query_loss()
+
+    def test_fit_without_workload_falls_back_to_naru(self, table):
+        estimator = UAEEstimator(table, hidden_sizes=(32,), batch_size=256, seed=0)
+        estimator.fit(epochs=1)
+        assert len(estimator.training_losses) == 1
+        assert not estimator.query_losses
+
+    def test_invalid_training_samples(self, table):
+        with pytest.raises(ValueError):
+            UAEEstimator(table, num_training_samples=0)
+
+    def test_estimates_after_hybrid_training_reasonable(self, table):
+        workload = make_inworkload(table, num_queries=30, seed=12)
+        estimator = UAEEstimator(table, hidden_sizes=(32, 32), num_samples=100,
+                                 num_training_samples=4, query_batch_size=4,
+                                 batch_size=128, seed=0)
+        estimator.fit(epochs=2, workload=workload)
+        query = Query.from_triples([("a", "<=", 4)])
+        truth = cardinality(table, query)
+        assert qerror(estimator.estimate(query), truth) < 3.0

@@ -1,0 +1,271 @@
+"""Tests for the relational data substrate (columns, tables, datasets, stats)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data import (
+    Column,
+    Table,
+    TableStatistics,
+    correlation_matrix,
+    cramers_v,
+    load_csv,
+    make_census,
+    make_dataset,
+    make_dmv,
+    make_kddcup98,
+)
+from repro.data.datasets import ColumnSpec, SyntheticTableSpec, generate_table
+
+
+class TestColumn:
+    def test_from_values_sorted_codes(self):
+        column = Column.from_values("c", ["b", "a", "c", "a"])
+        assert column.num_distinct == 3
+        assert list(column.distinct_values) == ["a", "b", "c"]
+        np.testing.assert_array_equal(column.codes, [1, 0, 2, 0])
+
+    def test_from_codes(self):
+        column = Column.from_codes("c", [0, 1, 2, 1], num_distinct=4)
+        assert column.num_distinct == 4
+        assert column.num_rows == 4
+
+    def test_code_of_and_value_of_roundtrip(self):
+        column = Column.from_values("c", [10, 20, 30])
+        for value in (10, 20, 30):
+            assert column.value_of(column.code_of(value)) == value
+
+    def test_code_of_missing_raises(self):
+        column = Column.from_values("c", [10, 20, 30])
+        with pytest.raises(KeyError):
+            column.code_of(15)
+
+    def test_searchsorted_between_values(self):
+        column = Column.from_values("c", [10, 20, 30])
+        assert column.searchsorted(15) == 1
+        assert column.searchsorted(20, side="right") == 2
+
+    def test_value_counts_and_frequencies(self):
+        column = Column.from_values("c", [1, 1, 2, 3, 3, 3])
+        np.testing.assert_array_equal(column.value_counts(), [2, 1, 3])
+        np.testing.assert_allclose(column.frequencies().sum(), 1.0)
+
+    def test_invalid_codes_rejected(self):
+        with pytest.raises(ValueError):
+            Column("c", np.array([1, 2]), np.array([0, 2]))
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            Column.from_values("c", [])
+
+    @given(st.lists(st.integers(-50, 50), min_size=1, max_size=200))
+    @settings(max_examples=50, deadline=None)
+    def test_encoding_preserves_order(self, values):
+        """Dictionary codes must preserve the order of raw values."""
+        column = Column.from_values("c", values)
+        decoded = column.distinct_values[column.codes]
+        np.testing.assert_array_equal(decoded, np.asarray(values))
+        assert np.all(np.diff(column.distinct_values) > 0)
+
+
+class TestTable:
+    def _toy(self):
+        return Table.from_dict("toy", {
+            "a": [1, 2, 3, 1, 2],
+            "b": ["x", "x", "y", "y", "z"],
+        })
+
+    def test_shape(self):
+        table = self._toy()
+        assert table.num_rows == 5
+        assert table.num_columns == 2
+        assert table.column_names == ["a", "b"]
+        assert len(table) == 5
+
+    def test_code_matrix_shape(self):
+        assert self._toy().code_matrix().shape == (5, 2)
+
+    def test_column_lookup_by_name_and_index(self):
+        table = self._toy()
+        assert table.column("a") is table.column(0)
+        assert table.column_index("b") == 1
+
+    def test_unknown_column_raises(self):
+        with pytest.raises(KeyError):
+            self._toy().column("missing")
+
+    def test_row_returns_raw_values(self):
+        assert self._toy().row(2) == [3, "y"]
+
+    def test_project(self):
+        projected = self._toy().project(["b"])
+        assert projected.column_names == ["b"]
+        assert projected.num_rows == 5
+
+    def test_sample_rows(self):
+        sampled = self._toy().sample_rows(10, rng=np.random.default_rng(0))
+        assert sampled.shape == (10, 2)
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            Table("bad", [Column.from_values("a", [1, 2]),
+                          Column.from_values("b", [1, 2, 3])])
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ValueError):
+            Table("bad", [Column.from_values("a", [1]), Column.from_values("a", [2])])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            Table("bad", [])
+
+
+class TestSyntheticDatasets:
+    def test_dmv_shape(self):
+        table = make_dmv(scale=0.001)
+        assert table.num_columns == 11
+        assert table.num_rows >= 1_000
+        ndvs = table.cardinalities
+        assert min(ndvs) == 2
+        assert max(ndvs) <= 2774
+
+    def test_kddcup_shape(self):
+        table = make_kddcup98(scale=0.02)
+        assert table.num_columns == 100
+        assert all(2 <= ndv <= 57 for ndv in table.cardinalities)
+
+    def test_kddcup_reduced_columns(self):
+        table = make_kddcup98(scale=0.02, num_columns=10)
+        assert table.num_columns == 10
+
+    def test_kddcup_bad_columns(self):
+        with pytest.raises(ValueError):
+            make_kddcup98(num_columns=1)
+
+    def test_census_shape(self):
+        table = make_census(scale=0.05)
+        assert table.num_columns == 14
+        assert max(table.cardinalities) <= 123
+
+    def test_deterministic_given_seed(self):
+        first = make_census(scale=0.05, seed=3).code_matrix()
+        second = make_census(scale=0.05, seed=3).code_matrix()
+        np.testing.assert_array_equal(first, second)
+
+    def test_different_seed_differs(self):
+        first = make_census(scale=0.05, seed=3).code_matrix()
+        second = make_census(scale=0.05, seed=4).code_matrix()
+        assert not np.array_equal(first, second)
+
+    def test_make_dataset_by_name(self):
+        assert make_dataset("census", scale=0.05).name == "census"
+        with pytest.raises(KeyError):
+            make_dataset("imaginary")
+
+    def test_skew_produces_nonuniform_marginals(self):
+        table = make_dmv(scale=0.001)
+        frequencies = table.column("fuel_type").frequencies()
+        assert frequencies.max() > 2.0 / len(frequencies)
+
+    def test_correlation_exists_between_derived_columns(self):
+        table = make_census(scale=0.05)
+        value = cramers_v(table.column("education").codes,
+                          table.column("education_num").codes)
+        assert value > 0.8
+
+    def test_derived_from_unknown_column_rejected(self):
+        spec = SyntheticTableSpec("bad", 100, (
+            ColumnSpec("child", 5, derived_from="parent"),
+            ColumnSpec("parent", 5),
+        ))
+        with pytest.raises(ValueError):
+            generate_table(spec)
+
+
+class TestStatistics:
+    def test_table_statistics_summary(self):
+        table = make_census(scale=0.05)
+        statistics = TableStatistics(table)
+        assert len(statistics.columns) == table.num_columns
+        text = statistics.summary()
+        assert "census" in text
+        assert "education" in text
+
+    def test_entropy_zero_for_constant_column(self):
+        table = Table.from_dict("t", {"c": [1, 1, 1, 1]})
+        statistics = TableStatistics(table)
+        assert statistics.columns[0].entropy == pytest.approx(0.0)
+
+    def test_cramers_v_bounds(self):
+        rng = np.random.default_rng(0)
+        a = rng.integers(0, 5, size=2000)
+        independent = rng.integers(0, 5, size=2000)
+        assert cramers_v(a, a) > 0.99
+        assert cramers_v(a, independent) < 0.1
+
+    def test_cramers_v_mismatched_length(self):
+        with pytest.raises(ValueError):
+            cramers_v(np.array([0, 1]), np.array([0, 1, 2]))
+
+    def test_correlation_matrix_symmetric(self):
+        table = make_census(scale=0.05)
+        matrix = correlation_matrix(table, max_rows=2_000)
+        np.testing.assert_allclose(matrix, matrix.T)
+        np.testing.assert_allclose(np.diag(matrix), 1.0)
+
+
+class TestCsvLoader:
+    def _write_csv(self, tmp_path, text):
+        path = tmp_path / "data.csv"
+        path.write_text(text)
+        return path
+
+    def test_basic_load(self, tmp_path):
+        path = self._write_csv(tmp_path, "a,b\n1,x\n2,y\n1,x\n")
+        table = load_csv(path)
+        assert table.num_rows == 3
+        assert table.column_names == ["a", "b"]
+        assert table.column("a").num_distinct == 2
+
+    def test_numeric_coercion(self, tmp_path):
+        path = self._write_csv(tmp_path, "a\n10\n2\n30\n")
+        table = load_csv(path)
+        # Numeric order, not lexicographic order.
+        assert list(table.column("a").distinct_values) == [2, 10, 30]
+
+    def test_float_coercion(self, tmp_path):
+        path = self._write_csv(tmp_path, "a\n1.5\n0.5\n")
+        table = load_csv(path)
+        assert list(table.column("a").distinct_values) == [0.5, 1.5]
+
+    def test_usecols_and_max_rows(self, tmp_path):
+        path = self._write_csv(tmp_path, "a,b,c\n1,x,9\n2,y,8\n3,z,7\n")
+        table = load_csv(path, usecols=["c", "a"], max_rows=2)
+        assert table.column_names == ["c", "a"]
+        assert table.num_rows == 2
+
+    def test_missing_values_tokenised(self, tmp_path):
+        path = self._write_csv(tmp_path, "a,b\n1,\n2,y\n")
+        table = load_csv(path)
+        assert "<missing>" in list(table.column("b").distinct_values)
+
+    def test_unknown_usecols(self, tmp_path):
+        path = self._write_csv(tmp_path, "a\n1\n")
+        with pytest.raises(KeyError):
+            load_csv(path, usecols=["zzz"])
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_csv(tmp_path / "nope.csv")
+
+    def test_empty_file(self, tmp_path):
+        path = self._write_csv(tmp_path, "")
+        with pytest.raises(ValueError):
+            load_csv(path)
+
+    def test_header_only(self, tmp_path):
+        path = self._write_csv(tmp_path, "a,b\n")
+        with pytest.raises(ValueError):
+            load_csv(path)

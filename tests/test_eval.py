@@ -1,0 +1,166 @@
+"""Tests for metrics, reporting, the evaluation harness, and experiment drivers."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines import IndependenceEstimator, SamplingEstimator
+from repro.data import Table
+from repro.eval import (
+    SmokeScale,
+    cumulative_distribution,
+    evaluate_estimator,
+    figure4_workload_distribution,
+    format_series,
+    format_table,
+    qerror,
+    summarize_qerrors,
+    train_duet,
+)
+from repro.eval.harness import EvaluationResult
+from repro.workload import make_inworkload, make_random_workload
+
+
+@pytest.fixture(scope="module")
+def table():
+    rng = np.random.default_rng(0)
+    a = rng.integers(0, 10, size=500)
+    b = (a + rng.integers(0, 2, size=500)) % 10
+    return Table.from_dict("eval_toy", {"a": a, "b": b})
+
+
+@pytest.fixture(scope="module")
+def workload(table):
+    return make_random_workload(table, num_queries=40, seed=3)
+
+
+class TestQError:
+    def test_exact_estimate_is_one(self):
+        np.testing.assert_allclose(qerror(np.array([5.0, 10.0]), np.array([5, 10])), 1.0)
+
+    def test_symmetry(self):
+        over = qerror(np.array([100.0]), np.array([10.0]))
+        under = qerror(np.array([10.0]), np.array([100.0]))
+        np.testing.assert_allclose(over, under)
+
+    def test_floor_prevents_infinity(self):
+        values = qerror(np.array([0.0]), np.array([0.0]))
+        np.testing.assert_allclose(values, 1.0)
+
+    def test_summary_statistics(self):
+        values = np.array([1.0, 1.0, 2.0, 4.0, 100.0])
+        summary = summarize_qerrors(values)
+        assert summary.median == pytest.approx(2.0)
+        assert summary.maximum == pytest.approx(100.0)
+        assert summary.mean == pytest.approx(values.mean())
+        assert summary.count == 5
+        assert len(summary.as_row()) == 5
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            summarize_qerrors(np.array([]))
+
+    @given(st.lists(st.floats(1.0, 1e6), min_size=1, max_size=50),
+           st.lists(st.floats(1.0, 1e6), min_size=1, max_size=50))
+    @settings(max_examples=50, deadline=None)
+    def test_qerror_always_at_least_one(self, estimates, actuals):
+        size = min(len(estimates), len(actuals))
+        values = qerror(np.array(estimates[:size]), np.array(actuals[:size]))
+        assert (values >= 1.0).all()
+
+
+class TestReporting:
+    def test_format_table_alignment(self):
+        text = format_table(["name", "value"], [["alpha", 1.5], ["b", 123456.0]],
+                            title="demo")
+        lines = text.splitlines()
+        assert lines[0] == "demo"
+        assert "alpha" in text
+        assert all(len(line) == len(lines[1]) or True for line in lines)
+
+    def test_format_series(self):
+        text = format_series("x", [1, 2], {"series_a": [0.1, 0.2], "series_b": [3.0, 4.0]})
+        assert "series_a" in text and "series_b" in text
+
+    def test_cdf_monotonic(self):
+        rng = np.random.default_rng(0)
+        points, quantiles = cumulative_distribution(rng.exponential(size=500), num_points=20)
+        assert np.all(np.diff(points) >= 0)
+        assert quantiles[0] == 0.0 and quantiles[-1] == 1.0
+
+    def test_cdf_empty_rejected(self):
+        with pytest.raises(ValueError):
+            cumulative_distribution(np.array([]))
+
+
+class TestHarness:
+    def test_evaluate_sampling_estimator(self, table, workload):
+        result = evaluate_estimator(SamplingEstimator(table, sample_fraction=1.0), workload)
+        assert isinstance(result, EvaluationResult)
+        # Full sample is exact, so every Q-Error is 1.
+        np.testing.assert_allclose(result.qerrors, 1.0)
+        assert result.per_query_ms > 0
+        assert result.summary.count == len(workload)
+
+    def test_evaluate_labels_workload_if_needed(self, table):
+        workload = make_random_workload(table, num_queries=10, seed=5, label=False)
+        result = evaluate_estimator(IndependenceEstimator(table), workload)
+        assert workload.is_labeled
+        assert result.summary.count == 10
+
+    def test_result_table_row(self, table, workload):
+        result = evaluate_estimator(IndependenceEstimator(table), workload)
+        row = result.as_table_row()
+        assert row[0] == "indep"
+        assert len(row) == 8
+
+    def test_train_duet_hybrid_and_data_only(self, table):
+        train_queries = make_inworkload(table, num_queries=50, seed=42)
+        config_kwargs = dict(hidden_sizes=(32,), epochs=1, batch_size=128,
+                             expand_coefficient=1, seed=0)
+        scale_config = SmokeScale().duet_config(**config_kwargs)
+        hybrid = train_duet(table, train_queries, scale_config, epochs=1)
+        assert hybrid.hybrid
+        data_only = train_duet(table, None, SmokeScale().duet_config(
+            lambda_query=0.0, **config_kwargs), epochs=1)
+        assert not data_only.hybrid
+        assert len(hybrid.history.epochs) == 1
+
+    def test_trained_duet_estimator_usable(self, table, workload):
+        trained = train_duet(table, None, SmokeScale().duet_config(
+            hidden_sizes=(32,), epochs=1, lambda_query=0.0, expand_coefficient=1), epochs=1)
+        result = evaluate_estimator(trained.estimator, workload, table)
+        assert result.summary.maximum >= 1.0
+
+
+class TestSmokeScale:
+    def test_dataset_builders(self):
+        scale = SmokeScale()
+        census = scale.dataset("census")
+        assert census.num_columns == 14
+        kdd = scale.dataset("kddcup98")
+        assert kdd.num_columns == scale.kdd_columns
+
+    def test_duet_config_overrides(self):
+        config = SmokeScale().duet_config(lambda_query=0.5)
+        assert config.lambda_query == 0.5
+        assert config.hidden_sizes == SmokeScale().hidden_sizes
+
+
+class TestExperimentDrivers:
+    """Smoke tests for the cheap experiment drivers (the heavier ones are
+    exercised by the benchmark suite)."""
+
+    def test_figure4_distributions_differ(self):
+        scale = SmokeScale(dataset_scale={"dmv": 0.0008, "kddcup98": 0.02, "census": 0.03},
+                           num_test_queries=80)
+        result = figure4_workload_distribution("census", scale)
+        assert result.rand_q_median != result.in_q_median
+        text = result.render()
+        assert "Figure 4" in text
+
+    def test_figure4_render_contains_both_series(self):
+        scale = SmokeScale(num_test_queries=50)
+        result = figure4_workload_distribution("census", scale)
+        assert "Rand-Q" in result.render() and "In-Q" in result.render()

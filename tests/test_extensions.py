@@ -1,0 +1,177 @@
+"""Tests for the paper's extension features.
+
+* Disjunctive (OR) queries via inclusion-exclusion (§III "Supported Queries").
+* Importance-sampling guidance for Algorithm 1 from historical workloads
+  (§IV-C's temporal-locality discussion).
+"""
+
+import numpy as np
+import pytest
+
+from repro.baselines import IndependenceEstimator, SamplingEstimator
+from repro.core import (
+    DuetConfig,
+    DuetEstimator,
+    DuetModel,
+    DuetTrainer,
+    PredicateGuidance,
+    VirtualTableSampler,
+    conjoin,
+    estimate_disjunction,
+)
+from repro.data import Table, make_census
+from repro.workload import Operator, Query, Workload, cardinality, execute, make_inworkload
+
+
+@pytest.fixture(scope="module")
+def table():
+    rng = np.random.default_rng(0)
+    a = rng.integers(0, 8, size=500)
+    b = rng.integers(0, 5, size=500)
+    return Table.from_dict("ext", {"a": a, "b": b})
+
+
+class TestDisjunction:
+    def _true_union(self, table, disjuncts):
+        mask = np.zeros(table.num_rows, dtype=bool)
+        for query in disjuncts:
+            mask |= execute(table, query)
+        return int(mask.sum())
+
+    def test_conjoin_concatenates_predicates(self):
+        first = Query.from_triples([("a", ">=", 2)])
+        second = Query.from_triples([("b", "=", 1)])
+        combined = conjoin(first, second)
+        assert combined.num_predicates == 2
+        assert combined.columns == ["a", "b"]
+
+    def test_exact_estimator_gives_exact_union(self, table):
+        """With an exact estimator (full sample), inclusion-exclusion is exact."""
+        estimator = SamplingEstimator(table, sample_fraction=1.0)
+        disjuncts = [Query.from_triples([("a", "<=", 2)]),
+                     Query.from_triples([("a", ">=", 6)]),
+                     Query.from_triples([("b", "=", 1)])]
+        estimate = estimate_disjunction(estimator, disjuncts)
+        assert estimate == pytest.approx(self._true_union(table, disjuncts))
+
+    def test_single_disjunct_equals_plain_estimate(self, table):
+        estimator = IndependenceEstimator(table)
+        query = Query.from_triples([("a", "=", 1)])
+        assert estimate_disjunction(estimator, [query]) == pytest.approx(
+            estimator.estimate(query))
+
+    def test_disjoint_branches_add_up(self, table):
+        estimator = SamplingEstimator(table, sample_fraction=1.0)
+        disjuncts = [Query.from_triples([("a", "=", 0)]),
+                     Query.from_triples([("a", "=", 1)])]
+        expected = sum(cardinality(table, query) for query in disjuncts)
+        assert estimate_disjunction(estimator, disjuncts) == pytest.approx(expected)
+
+    def test_truncated_expansion_is_bounded(self, table):
+        estimator = SamplingEstimator(table, sample_fraction=1.0)
+        disjuncts = [Query.from_triples([("a", "<=", 4)]),
+                     Query.from_triples([("a", ">=", 3)]),
+                     Query.from_triples([("b", "<=", 2)])]
+        truncated = estimate_disjunction(estimator, disjuncts, max_terms=2)
+        assert 0 <= truncated <= table.num_rows
+
+    def test_empty_disjunct_list_rejected(self, table):
+        with pytest.raises(ValueError):
+            estimate_disjunction(IndependenceEstimator(table), [])
+
+    def test_works_with_trained_duet(self, table):
+        config = DuetConfig(hidden_sizes=(24,), epochs=2, batch_size=128,
+                            expand_coefficient=2, lambda_query=0.0, seed=0)
+        model = DuetModel(table, config)
+        DuetTrainer(model, table, config=config).train()
+        estimator = DuetEstimator(model)
+        # Disjuncts on different columns so the pairwise intersection stays a
+        # single-predicate-per-column query (the model was built without MPSN).
+        disjuncts = [Query.from_triples([("a", "<=", 1)]),
+                     Query.from_triples([("b", "=", 1)])]
+        estimate = estimate_disjunction(estimator, disjuncts)
+        truth = self._true_union(table, disjuncts)
+        assert 0 <= estimate <= table.num_rows
+        qerror = max(estimate, truth) / max(min(estimate, truth), 1.0)
+        assert qerror < 5.0
+
+    def test_same_column_intersections_need_multi_predicate_duet(self, table):
+        """Intersections that stack predicates on one column require MPSN mode."""
+        config = DuetConfig(hidden_sizes=(24,), epochs=1, batch_size=128,
+                            expand_coefficient=1, lambda_query=0.0,
+                            multi_predicate=True, max_predicates_per_column=2, seed=0)
+        model = DuetModel(table, config)
+        DuetTrainer(model, table, config=config).train(epochs=1)
+        estimator = DuetEstimator(model)
+        disjuncts = [Query.from_triples([("a", "<=", 3)]),
+                     Query.from_triples([("a", ">=", 2)])]
+        estimate = estimate_disjunction(estimator, disjuncts)
+        assert 0 <= estimate <= table.num_rows
+
+
+class TestPredicateGuidance:
+    def test_from_workload_shapes(self, table):
+        workload = make_inworkload(table, num_queries=100, seed=42)
+        guidance = PredicateGuidance.from_workload(table, workload)
+        assert len(guidance.operator_weights) == table.num_columns
+        assert len(guidance.literal_histograms) == table.num_columns
+        for column_index, column in enumerate(table.columns):
+            np.testing.assert_allclose(guidance.operator_weights[column_index].sum(), 1.0)
+            assert guidance.literal_histograms[column_index].shape == (column.num_distinct,)
+
+    def test_guided_sampling_preserves_anchor_invariant(self, table):
+        """Importance sampling must not break Algorithm 1's core invariant."""
+        workload = make_inworkload(table, num_queries=100, seed=42)
+        guidance = PredicateGuidance.from_workload(table, workload)
+        config = DuetConfig(expand_coefficient=2, seed=0)
+        sampler = VirtualTableSampler(table.cardinalities, config, seed=0,
+                                      guidance=guidance)
+        anchors = table.sample_rows(200, rng=np.random.default_rng(1))
+        batch = sampler.sample_batch(anchors)
+        assert sampler.verify_batch(batch)
+
+    def test_guided_sampling_biases_towards_historical_operators(self, table):
+        """If history only ever uses '<=', guided samples should prefer it."""
+        only_le = Workload("le", [
+            Query.from_triples([("a", "<=", value)]) for value in range(1, 8)
+        ])
+        guidance = PredicateGuidance.from_workload(table, only_le)
+        config = DuetConfig(expand_coefficient=1, wildcard_probability=0.0, seed=0)
+        guided = VirtualTableSampler(table.cardinalities, config, seed=0, guidance=guidance)
+        uniform = VirtualTableSampler(table.cardinalities, config, seed=0)
+        anchors = table.sample_rows(600, rng=np.random.default_rng(2))
+        guided_ops = guided.sample_batch(anchors).ops[:, 0, 0]
+        uniform_ops = uniform.sample_batch(anchors).ops[:, 0, 0]
+        le_index = Operator.LE.index
+        guided_share = float((guided_ops == le_index).mean())
+        uniform_share = float((uniform_ops == le_index).mean())
+        assert guided_share > uniform_share * 2
+
+    def test_guided_literals_follow_history(self, table):
+        """Literals should concentrate on the historical literal codes."""
+        column = table.column("a")
+        favourite = column.value_of(3)
+        history = Workload("hist", [
+            Query.from_triples([("a", "<=", favourite)]) for _ in range(20)
+        ])
+        guidance = PredicateGuidance.from_workload(table, history)
+        config = DuetConfig(expand_coefficient=1, wildcard_probability=0.0, seed=0)
+        sampler = VirtualTableSampler(table.cardinalities, config, seed=0,
+                                      guidance=guidance)
+        # Anchors with value 0 make every "<=" literal in [0, 7] feasible.
+        anchors = np.zeros((500, 2), dtype=np.int64)
+        batch = sampler.sample_batch(anchors)
+        le_literals = batch.values[:, 0, 0][batch.ops[:, 0, 0] == Operator.LE.index]
+        assert le_literals.size > 0
+        # Code 3 holds nearly all the historical mass, so it should dominate.
+        assert (le_literals == 3).mean() > 0.5
+
+    def test_trainer_accepts_guidance(self, table):
+        workload = make_inworkload(table, num_queries=50, seed=42)
+        guidance = PredicateGuidance.from_workload(table, workload)
+        config = DuetConfig(hidden_sizes=(16,), epochs=1, batch_size=128,
+                            expand_coefficient=1, seed=0)
+        model = DuetModel(table, config)
+        trainer = DuetTrainer(model, table, workload, config, guidance=guidance)
+        history = trainer.train(epochs=1)
+        assert history.data_losses[0] > 0

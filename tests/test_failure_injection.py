@@ -1,0 +1,182 @@
+"""Failure-injection and edge-case tests.
+
+A production-quality estimator library must fail loudly and predictably on
+bad inputs (unknown columns, corrupted checkpoints, impossible predicates,
+degenerate tables) rather than silently producing garbage estimates.
+"""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.baselines import (
+    DeepDBEstimator,
+    IndependenceEstimator,
+    MHistEstimator,
+    MSCNEstimator,
+    NaruEstimator,
+    SamplingEstimator,
+)
+from repro.core import DuetConfig, DuetEstimator, DuetModel, DuetTrainer
+from repro.core.virtual_table import VirtualTableSampler
+from repro.data import Column, Table, make_census
+from repro.workload import Operator, Predicate, Query, Workload, make_random_workload
+
+
+@pytest.fixture(scope="module")
+def tiny_table():
+    rng = np.random.default_rng(0)
+    return Table.from_dict("tiny", {
+        "a": rng.integers(0, 5, size=200),
+        "b": rng.integers(0, 3, size=200),
+    })
+
+
+@pytest.fixture(scope="module")
+def tiny_model(tiny_table):
+    config = DuetConfig(hidden_sizes=(16,), epochs=1, batch_size=64,
+                        expand_coefficient=1, seed=0)
+    model = DuetModel(tiny_table, config)
+    DuetTrainer(model, tiny_table, config=config).train(epochs=1)
+    return model
+
+
+class TestBadQueries:
+    def test_unknown_column_rejected_by_every_estimator(self, tiny_table, tiny_model):
+        bad = Query.from_triples([("missing", "=", 1)])
+        estimators = [
+            DuetEstimator(tiny_model),
+            SamplingEstimator(tiny_table, sample_fraction=0.5),
+            IndependenceEstimator(tiny_table),
+            MHistEstimator(tiny_table, num_buckets=10),
+            DeepDBEstimator(tiny_table, min_instances=32),
+        ]
+        for estimator in estimators:
+            with pytest.raises(KeyError):
+                estimator.estimate(bad)
+
+    def test_empty_query_rejected(self, tiny_table):
+        with pytest.raises(ValueError):
+            IndependenceEstimator(tiny_table).estimate(Query([]))
+
+    def test_value_outside_domain_gives_zero_not_crash(self, tiny_table, tiny_model):
+        query = Query.from_triples([("a", "=", 999)])
+        assert DuetEstimator(tiny_model).estimate(query) == pytest.approx(0.0, abs=1e-6)
+        assert IndependenceEstimator(tiny_table).estimate(query) == 0.0
+
+    def test_contradictory_predicates_give_zero(self, tiny_table, tiny_model):
+        query = Query.from_triples([("a", ">=", 4), ("a", "<=", 1)])
+        assert IndependenceEstimator(tiny_table).estimate(query) == 0.0
+        assert MHistEstimator(tiny_table, num_buckets=10).estimate(query) == 0.0
+
+    def test_string_literal_on_numeric_column_is_contained(self, tiny_table):
+        """A type-mismatched literal must either raise or produce a well-formed
+        mask — never crash later or emit an out-of-range code interval."""
+        column = tiny_table.column("a")
+        predicate = Predicate("a", Operator.GE, "not-a-number")
+        try:
+            mask = predicate.valid_value_mask(column)
+        except (TypeError, ValueError):
+            return
+        assert mask.shape == (column.num_distinct,)
+        assert mask.dtype == bool
+
+
+class TestCorruptedState:
+    def test_loading_wrong_architecture_fails(self, tiny_table, tiny_model, tmp_path):
+        path = tmp_path / "model.npz"
+        nn.save_module(tiny_model, path)
+        other_config = DuetConfig(hidden_sizes=(8, 8), seed=0)
+        other = DuetModel(tiny_table, other_config)
+        with pytest.raises((KeyError, ValueError)):
+            nn.load_module(other, path)
+
+    def test_loading_missing_file_fails(self, tiny_model, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            nn.load_module(tiny_model, tmp_path / "does_not_exist.npz")
+
+    def test_state_dict_with_wrong_shapes_rejected(self, tiny_model):
+        state = tiny_model.state_dict()
+        first_key = next(iter(state))
+        state[first_key] = np.zeros((1, 1))
+        with pytest.raises(ValueError):
+            tiny_model.load_state_dict(state)
+
+
+class TestDegenerateData:
+    def test_single_distinct_value_columns(self):
+        table = Table.from_dict("const", {"a": [1] * 100, "b": [2] * 100})
+        config = DuetConfig(hidden_sizes=(8,), epochs=1, batch_size=32,
+                            expand_coefficient=1, seed=0)
+        model = DuetModel(table, config)
+        DuetTrainer(model, table, config=config).train(epochs=1)
+        estimate = DuetEstimator(model).estimate(Query.from_triples([("a", "=", 1)]))
+        assert estimate == pytest.approx(table.num_rows, rel=0.2)
+
+    def test_two_row_table(self):
+        table = Table.from_dict("mini", {"a": [1, 2], "b": [3, 4]})
+        estimator = IndependenceEstimator(table)
+        assert estimator.estimate(Query.from_triples([("a", "=", 1)])) == pytest.approx(1.0)
+
+    def test_sampler_handles_boundary_anchor_values(self):
+        """Anchors at the domain edges make some operators infeasible; the
+        sampler must fall back to wildcards, never emit invalid literals."""
+        config = DuetConfig(expand_coefficient=1, wildcard_probability=0.0)
+        sampler = VirtualTableSampler([2, 2], config, seed=0)
+        anchors = np.array([[0, 1]] * 50, dtype=np.int64)
+        batch = sampler.sample_batch(anchors)
+        assert sampler.verify_batch(batch)
+        present = batch.values[batch.values >= 0]
+        assert present.size == 0 or ((present >= 0) & (present < 2)).all()
+
+    def test_mscn_on_workload_with_single_query(self, tiny_table):
+        workload = Workload("one", [Query.from_triples([("a", "=", 1)])]).label(tiny_table)
+        estimator = MSCNEstimator(tiny_table, epochs=2, seed=0).fit(workload)
+        assert estimator.estimate(workload.queries[0]) >= 0
+
+    def test_naru_estimate_on_unconstrained_like_query(self, tiny_table):
+        """A query whose predicates select the whole domain should estimate
+        close to the full table size."""
+        naru = NaruEstimator(tiny_table, hidden_sizes=(16,), num_samples=20, seed=0)
+        naru.fit(epochs=1)
+        query = Query.from_triples([("a", ">=", 0)])
+        assert naru.estimate(query) == pytest.approx(tiny_table.num_rows, rel=0.05)
+
+
+class TestTrainerRobustness:
+    def test_training_with_empty_workload_falls_back_to_data_only(self, tiny_table):
+        config = DuetConfig(hidden_sizes=(16,), epochs=1, batch_size=64,
+                            expand_coefficient=1, seed=0)
+        model = DuetModel(tiny_table, config)
+        trainer = DuetTrainer(model, tiny_table, None, config)
+        assert not trainer.hybrid
+        history = trainer.train(epochs=1)
+        assert history.epochs[0].query_loss == 0.0
+
+    def test_lambda_zero_disables_hybrid_even_with_workload(self, tiny_table):
+        config = DuetConfig(hidden_sizes=(16,), epochs=1, batch_size=64,
+                            expand_coefficient=1, lambda_query=0.0, seed=0)
+        workload = make_random_workload(tiny_table, num_queries=10, seed=0)
+        trainer = DuetTrainer(DuetModel(tiny_table, config), tiny_table, workload, config)
+        assert not trainer.hybrid
+
+    def test_gradient_clipping_keeps_parameters_finite(self, tiny_table):
+        config = DuetConfig(hidden_sizes=(16,), epochs=1, batch_size=64,
+                            expand_coefficient=1, learning_rate=1.0, grad_clip=1.0, seed=0)
+        model = DuetModel(tiny_table, config)
+        workload = make_random_workload(tiny_table, num_queries=20, seed=0)
+        DuetTrainer(model, tiny_table, workload, config).train(epochs=1)
+        for parameter in model.parameters():
+            assert np.isfinite(parameter.data).all()
+
+    def test_invalid_config_values_rejected(self):
+        with pytest.raises(ValueError):
+            DuetConfig(expand_coefficient=0)
+        with pytest.raises(ValueError):
+            DuetConfig(wildcard_probability=1.5)
+        with pytest.raises(ValueError):
+            DuetConfig(lambda_query=-0.1)
+        with pytest.raises(ValueError):
+            DuetConfig(hidden_sizes=())
+        with pytest.raises(ValueError):
+            DuetConfig(batch_size=0)

@@ -1,0 +1,134 @@
+"""End-to-end integration tests crossing subsystem boundaries.
+
+These tests exercise realistic flows: dataset -> workload -> training ->
+estimation -> evaluation, model persistence, determinism guarantees, and the
+comparisons that the paper's narrative depends on.
+"""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.baselines import IndependenceEstimator, NaruEstimator
+from repro.core import DuetConfig, DuetEstimator, DuetModel, DuetTrainer
+from repro.data import make_census, make_kddcup98
+from repro.eval import evaluate_estimator, qerror, train_duet
+from repro.workload import Query, Workload, cardinality, make_inworkload, make_random_workload
+
+
+@pytest.fixture(scope="module")
+def census():
+    return make_census(scale=0.03, seed=5)
+
+
+@pytest.fixture(scope="module")
+def census_config():
+    return DuetConfig(hidden_sizes=(48, 48), epochs=3, batch_size=128,
+                      expand_coefficient=2, lambda_query=0.1, seed=0)
+
+
+@pytest.fixture(scope="module")
+def trained(census, census_config):
+    workload = make_inworkload(census, num_queries=200, seed=42)
+    return train_duet(census, workload, census_config)
+
+
+class TestEndToEnd:
+    def test_training_history_is_complete(self, trained, census_config):
+        assert len(trained.history.epochs) == census_config.epochs
+        assert trained.hybrid
+
+    def test_duet_beats_untrained_model(self, census, census_config, trained):
+        test_queries = make_random_workload(census, num_queries=100, seed=9)
+        untrained = DuetEstimator(DuetModel(census, census_config))
+        trained_result = evaluate_estimator(trained.estimator, test_queries, census)
+        untrained_result = evaluate_estimator(untrained, test_queries, census)
+        assert trained_result.summary.median < untrained_result.summary.median
+
+    def test_duet_competitive_with_independence_on_correlated_columns(self, census, trained):
+        """On correlated column pairs Duet should not be much worse than the
+        independence baseline and usually better (the reason learned
+        estimators exist)."""
+        queries = []
+        education = census.column("education")
+        marital = census.column("marital_status")
+        for education_code in range(0, education.num_distinct, 4):
+            queries.append(Query.from_triples([
+                ("education", "<=", education.value_of(education_code)),
+                ("marital_status", "=", marital.value_of(0)),
+            ]))
+        workload = Workload("corr", queries).label(census)
+        duet_result = evaluate_estimator(trained.estimator, workload, census)
+        indep_result = evaluate_estimator(IndependenceEstimator(census), workload, census)
+        assert duet_result.summary.mean <= indep_result.summary.mean * 3
+
+    def test_estimates_reproducible_across_calls_and_batching(self, trained, census):
+        queries = make_random_workload(census, num_queries=20, seed=10, label=False).queries
+        one_by_one = np.array([trained.estimator.estimate(query) for query in queries])
+        batched = trained.estimator.estimate_batch(queries)
+        np.testing.assert_allclose(one_by_one, batched, rtol=1e-10)
+
+    def test_model_save_load_preserves_estimates(self, trained, census, census_config,
+                                                 tmp_path):
+        path = tmp_path / "duet.npz"
+        nn.save_module(trained.model, path, metadata={"dataset": census.name})
+        clone = DuetModel(census, census_config)
+        metadata = nn.load_module(clone, path)
+        assert metadata["dataset"] == census.name
+        queries = make_random_workload(census, num_queries=10, seed=11, label=False).queries
+        np.testing.assert_allclose(DuetEstimator(clone).estimate_batch(queries),
+                                   trained.estimator.estimate_batch(queries), rtol=1e-10)
+
+    def test_same_seed_reproduces_training(self, census, census_config):
+        workload = make_inworkload(census, num_queries=100, seed=42)
+        first = train_duet(census, workload, census_config, epochs=1, seed=3)
+        second = train_duet(census, workload, census_config, epochs=1, seed=3)
+        queries = make_random_workload(census, num_queries=10, seed=12, label=False).queries
+        np.testing.assert_allclose(first.estimator.estimate_batch(queries),
+                                   second.estimator.estimate_batch(queries), rtol=1e-9)
+
+    def test_duet_vs_naru_inference_cost_on_wide_table(self):
+        """Integration version of the Figure 6 claim on a small wide table."""
+        table = make_kddcup98(scale=0.015, num_columns=12, seed=3)
+        config = DuetConfig(hidden_sizes=(32,), epochs=1, batch_size=128,
+                            expand_coefficient=1, lambda_query=0.0, seed=0)
+        duet = train_duet(table, None, config, epochs=1).estimator
+        naru = NaruEstimator(table, hidden_sizes=(32,), num_samples=50, seed=0).fit(epochs=1)
+        workload = make_random_workload(table, num_queries=10, seed=4,
+                                        max_predicates=12, label=False)
+        wide_queries = [query for query in workload if len(query.columns) >= 8]
+        if not wide_queries:
+            wide_queries = workload.queries
+        duet_result = evaluate_estimator(duet, Workload("w", wide_queries).label(table), table)
+        naru_result = evaluate_estimator(naru, Workload("w", wide_queries).label(table), table)
+        assert duet_result.per_query_ms < naru_result.per_query_ms
+
+    def test_single_column_estimates_track_truth(self, trained, census):
+        """After training, single-column queries should be well estimated
+        (they are directly visible in the learned conditionals)."""
+        age = census.column("age")
+        errors = []
+        for code in range(0, age.num_distinct, 7):
+            query = Query.from_triples([("age", "<=", age.value_of(code))])
+            truth = cardinality(census, query)
+            estimate = trained.estimator.estimate(query)
+            errors.append(qerror(np.array([estimate]), np.array([truth]))[0])
+        assert np.median(errors) < 2.5
+
+
+class TestCrossSubsystemConsistency:
+    def test_workload_labels_consistent_with_executor(self, census):
+        workload = make_random_workload(census, num_queries=30, seed=13)
+        recomputed = np.array([cardinality(census, query) for query in workload])
+        np.testing.assert_array_equal(workload.cardinalities, recomputed)
+
+    def test_estimator_interface_contract(self, trained, census):
+        estimator = trained.estimator
+        query = Query.from_triples([("age", ">=", 10)])
+        assert 0 <= estimator.estimate_selectivity(query) <= 1
+        assert estimator.size_bytes() > 0
+        assert estimator.table is census
+
+    def test_query_on_unknown_column_raises_through_estimator(self, trained):
+        with pytest.raises(KeyError):
+            trained.estimator.estimate(Query.from_triples([("not_a_column", "=", 1)]))

@@ -1,0 +1,116 @@
+"""Tests for the join substrate and join-query estimation with Duet."""
+
+import numpy as np
+import pytest
+
+from repro.core import DuetConfig, DuetEstimator, DuetModel, DuetTrainer
+from repro.data import JoinSpec, Table, join_row_multiplicities, join_tables
+from repro.workload import Query, cardinality, make_random_workload
+
+
+@pytest.fixture(scope="module")
+def orders_and_customers():
+    rng = np.random.default_rng(0)
+    customers = Table.from_dict("customers", {
+        "customer_id": np.arange(50),
+        "region": rng.integers(0, 5, size=50),
+        "segment": rng.integers(0, 3, size=50),
+    })
+    orders = Table.from_dict("orders", {
+        "order_id": np.arange(400),
+        "customer_id": rng.integers(0, 50, size=400),
+        "amount_bucket": rng.integers(0, 10, size=400),
+        "status": rng.integers(0, 4, size=400),
+    })
+    return orders, customers
+
+
+class TestJoinTables:
+    def test_primary_foreign_key_join_size(self, orders_and_customers):
+        orders, customers = orders_and_customers
+        joined = join_tables(orders, customers, "customer_id", "customer_id")
+        # Every order matches exactly one customer.
+        assert joined.num_rows == orders.num_rows
+        assert joined.num_columns == orders.num_columns + customers.num_columns
+
+    def test_column_names_are_prefixed(self, orders_and_customers):
+        orders, customers = orders_and_customers
+        joined = join_tables(orders, customers, "customer_id", "customer_id")
+        assert "orders.amount_bucket" in joined.column_names
+        assert "customers.region" in joined.column_names
+
+    def test_join_keys_agree_on_every_row(self, orders_and_customers):
+        orders, customers = orders_and_customers
+        joined = join_tables(orders, customers, "customer_id", "customer_id")
+        left = joined.column("orders.customer_id")
+        right = joined.column("customers.customer_id")
+        left_values = left.distinct_values[left.codes]
+        right_values = right.distinct_values[right.codes]
+        np.testing.assert_array_equal(left_values, right_values)
+
+    def test_join_matches_bruteforce_counts(self):
+        left = Table.from_dict("l", {"k": [1, 1, 2, 3], "x": [10, 11, 12, 13]})
+        right = Table.from_dict("r", {"k": [1, 2, 2, 5], "y": [7, 8, 9, 6]})
+        joined = join_tables(left, right, "k", "k")
+        # key 1: 2x1 matches; key 2: 1x2 matches; total 4 rows.
+        assert joined.num_rows == 4
+
+    def test_empty_join_rejected(self):
+        left = Table.from_dict("l", {"k": [1, 2]})
+        right = Table.from_dict("r", {"k": [3, 4]})
+        with pytest.raises(ValueError):
+            join_tables(left, right, "k", "k")
+
+    def test_max_rows_sampling(self, orders_and_customers):
+        orders, customers = orders_and_customers
+        joined = join_tables(orders, customers, "customer_id", "customer_id",
+                             max_rows=100, rng=np.random.default_rng(1))
+        assert joined.num_rows == 100
+
+    def test_multiplicities(self):
+        left = Table.from_dict("l", {"k": [1, 2, 3]})
+        right = Table.from_dict("r", {"k": [1, 1, 3]})
+        np.testing.assert_array_equal(join_row_multiplicities(left, right, "k", "k"),
+                                      [2, 0, 1])
+
+    def test_join_spec_validation(self, orders_and_customers):
+        orders, customers = orders_and_customers
+        with pytest.raises(KeyError):
+            JoinSpec(orders, customers, "nope", "customer_id")
+        with pytest.raises(KeyError):
+            JoinSpec(orders, customers, "customer_id", "nope")
+
+    def test_join_spec_materialise(self, orders_and_customers):
+        orders, customers = orders_and_customers
+        spec = JoinSpec(orders, customers, "customer_id", "customer_id")
+        joined = spec.materialise(name="orders_customers")
+        assert joined.name == "orders_customers"
+
+
+class TestJoinQueryEstimation:
+    def test_duet_estimates_join_queries(self, orders_and_customers):
+        """NeuroCard-style workflow: train Duet on the joined relation and
+        estimate join-query cardinalities with predicates on both sides."""
+        orders, customers = orders_and_customers
+        joined = join_tables(orders, customers, "customer_id", "customer_id")
+        config = DuetConfig(hidden_sizes=(32, 32), epochs=3, batch_size=128,
+                            expand_coefficient=2, lambda_query=0.0, seed=0)
+        model = DuetModel(joined, config)
+        DuetTrainer(model, joined, config=config).train()
+        estimator = DuetEstimator(model)
+
+        query = Query.from_triples([
+            ("customers.region", "=", 1),
+            ("orders.amount_bucket", "<=", 4),
+        ])
+        truth = cardinality(joined, query)
+        estimate = estimator.estimate(query)
+        qerror = max(estimate, truth) / max(min(estimate, truth), 1.0)
+        assert qerror < 5.0
+
+    def test_workload_on_join_result(self, orders_and_customers):
+        orders, customers = orders_and_customers
+        joined = join_tables(orders, customers, "customer_id", "customer_id")
+        workload = make_random_workload(joined, num_queries=30, seed=3)
+        assert (workload.cardinalities >= 1).all()
+        assert (workload.cardinalities <= joined.num_rows).all()

@@ -1,0 +1,346 @@
+"""Tests for layers, functional ops, MADE, optimisers, and serialisation."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.nn import functional as F
+from repro.nn import Tensor
+
+
+class TestLinear:
+    def test_forward_shape(self):
+        layer = nn.Linear(4, 7, rng=np.random.default_rng(0))
+        out = layer(Tensor(np.ones((3, 4))))
+        assert out.shape == (3, 7)
+
+    def test_gradient_flows_to_parameters(self):
+        layer = nn.Linear(4, 2, rng=np.random.default_rng(0))
+        out = layer(Tensor(np.ones((3, 4)))).sum()
+        out.backward()
+        assert layer.weight.grad is not None
+        assert layer.bias.grad is not None
+        np.testing.assert_allclose(layer.bias.grad, np.full(2, 3.0))
+
+    def test_no_bias(self):
+        layer = nn.Linear(4, 2, bias=False)
+        assert layer.bias is None
+        assert len(list(layer.parameters())) == 1
+
+
+class TestMaskedLinear:
+    def test_mask_zeroes_connections(self):
+        layer = nn.MaskedLinear(3, 2, rng=np.random.default_rng(0))
+        mask = np.zeros((3, 2))
+        mask[0, 0] = 1
+        layer.set_mask(mask)
+        inputs = np.eye(3)
+        out = layer(Tensor(inputs)).numpy() - layer.bias.numpy()
+        # Only input 0 -> output 0 is connected.
+        assert abs(out[1, 0]) < 1e-12
+        assert abs(out[2, 0]) < 1e-12
+        assert abs(out[0, 1]) < 1e-12
+
+    def test_bad_mask_shape_rejected(self):
+        layer = nn.MaskedLinear(3, 2)
+        with pytest.raises(ValueError):
+            layer.set_mask(np.ones((2, 3)))
+
+
+class TestEmbedding:
+    def test_lookup_shape(self):
+        emb = nn.Embedding(10, 4, rng=np.random.default_rng(0))
+        out = emb(np.array([1, 2, 3]))
+        assert out.shape == (3, 4)
+
+    def test_gradient_accumulates_on_repeated_index(self):
+        emb = nn.Embedding(5, 2, rng=np.random.default_rng(0))
+        out = emb(np.array([1, 1, 2]))
+        out.sum().backward()
+        np.testing.assert_allclose(emb.weight.grad[1], [2.0, 2.0])
+        np.testing.assert_allclose(emb.weight.grad[2], [1.0, 1.0])
+        np.testing.assert_allclose(emb.weight.grad[0], [0.0, 0.0])
+
+    def test_out_of_range_raises(self):
+        emb = nn.Embedding(5, 2)
+        with pytest.raises(IndexError):
+            emb(np.array([5]))
+
+
+class TestSequentialAndModule:
+    def test_parameter_discovery(self):
+        model = nn.Sequential(nn.Linear(3, 4), nn.ReLU(), nn.Linear(4, 2))
+        names = [name for name, _ in model.named_parameters()]
+        assert len(names) == 4
+        assert model.num_parameters() == 3 * 4 + 4 + 4 * 2 + 2
+
+    def test_forward_chain(self):
+        model = nn.Sequential(nn.Linear(3, 4), nn.ReLU(), nn.Linear(4, 2))
+        out = model(Tensor(np.ones((5, 3))))
+        assert out.shape == (5, 2)
+
+    def test_state_dict_roundtrip(self):
+        model = nn.Sequential(nn.Linear(3, 4), nn.ReLU(), nn.Linear(4, 2))
+        clone = nn.Sequential(nn.Linear(3, 4), nn.ReLU(), nn.Linear(4, 2))
+        clone.load_state_dict(model.state_dict())
+        x = Tensor(np.random.default_rng(0).normal(size=(2, 3)))
+        np.testing.assert_allclose(model(x).numpy(), clone(x).numpy())
+
+    def test_state_dict_mismatch_raises(self):
+        model = nn.Linear(3, 4)
+        with pytest.raises(KeyError):
+            model.load_state_dict({"bogus": np.zeros(1)})
+
+    def test_size_bytes(self):
+        model = nn.Linear(10, 10)
+        assert model.size_bytes() == (100 + 10) * 4
+
+
+class TestLSTM:
+    def test_cell_shapes(self):
+        cell = nn.LSTMCell(3, 5, rng=np.random.default_rng(0))
+        hidden, cell_state = cell(Tensor(np.ones((2, 3))))
+        assert hidden.shape == (2, 5)
+        assert cell_state.shape == (2, 5)
+
+    def test_sequence_output_length(self):
+        lstm = nn.LSTM(3, 5, num_layers=2, rng=np.random.default_rng(0))
+        sequence = [Tensor(np.ones((2, 3))) for _ in range(4)]
+        outputs = lstm(sequence)
+        assert len(outputs) == 4
+        assert outputs[-1].shape == (2, 5)
+
+    def test_gradients_reach_first_step(self):
+        lstm = nn.LSTM(2, 3, rng=np.random.default_rng(0))
+        sequence = [Tensor(np.ones((1, 2)), requires_grad=True) for _ in range(3)]
+        outputs = lstm(sequence)
+        outputs[-1].sum().backward()
+        assert sequence[0].grad is not None
+
+
+class TestFunctional:
+    def test_softmax_sums_to_one(self):
+        logits = Tensor(np.random.default_rng(0).normal(size=(4, 6)))
+        probs = F.softmax(logits).numpy()
+        np.testing.assert_allclose(probs.sum(axis=1), np.ones(4), atol=1e-10)
+        assert (probs >= 0).all()
+
+    def test_log_softmax_stability_large_values(self):
+        logits = Tensor(np.array([[1000.0, 1000.0, 1000.0]]))
+        out = F.log_softmax(logits).numpy()
+        np.testing.assert_allclose(out, np.log(np.ones((1, 3)) / 3), atol=1e-8)
+
+    def test_cross_entropy_matches_manual(self):
+        logits = Tensor(np.array([[2.0, 0.0, -1.0], [0.0, 3.0, 0.0]]), requires_grad=True)
+        targets = np.array([0, 1])
+        loss = F.cross_entropy(logits, targets)
+        manual = -np.log(np.exp([2.0, 3.0]) / np.array(
+            [np.exp([2.0, 0.0, -1.0]).sum(), np.exp([0.0, 3.0, 0.0]).sum()]))
+        np.testing.assert_allclose(loss.item(), manual.mean(), atol=1e-10)
+
+    def test_cross_entropy_gradient_is_softmax_minus_onehot(self):
+        logits = Tensor(np.array([[1.0, 2.0, 3.0]]), requires_grad=True)
+        F.cross_entropy(logits, np.array([2])).backward()
+        probs = np.exp([1.0, 2.0, 3.0]) / np.exp([1.0, 2.0, 3.0]).sum()
+        expected = probs.copy()
+        expected[2] -= 1
+        np.testing.assert_allclose(logits.grad[0], expected, atol=1e-10)
+
+    def test_mse(self):
+        pred = Tensor(np.array([1.0, 2.0]), requires_grad=True)
+        loss = F.mse_loss(pred, np.array([0.0, 0.0]))
+        assert loss.item() == pytest.approx(2.5)
+
+    def test_binary_cross_entropy_bounds(self):
+        probs = Tensor(np.array([0.0, 1.0]))
+        loss = F.binary_cross_entropy(probs, np.array([0.0, 1.0]))
+        assert np.isfinite(loss.item())
+
+    def test_gumbel_softmax_is_distribution(self):
+        logits = Tensor(np.random.default_rng(0).normal(size=(5, 4)))
+        sample = F.gumbel_softmax(logits, temperature=0.5,
+                                  rng=np.random.default_rng(1)).numpy()
+        np.testing.assert_allclose(sample.sum(axis=1), np.ones(5), atol=1e-8)
+
+    def test_gumbel_softmax_bad_temperature(self):
+        with pytest.raises(ValueError):
+            F.gumbel_softmax(Tensor(np.zeros((1, 2))), temperature=0.0)
+
+    def test_qerror_symmetric(self):
+        estimate = Tensor(np.array([10.0, 2.0]))
+        actual = np.array([2.0, 10.0])
+        q = F.qerror(estimate, actual).numpy()
+        np.testing.assert_allclose(q, [5.0, 5.0])
+
+    def test_qerror_floor(self):
+        q = F.qerror(Tensor(np.array([0.0])), np.array([0.0])).numpy()
+        np.testing.assert_allclose(q, [1.0])
+
+    def test_mapped_qerror_compresses(self):
+        estimate = Tensor(np.array([1e6]))
+        actual = np.array([1.0])
+        mapped = F.mapped_qerror_loss(estimate, actual).item()
+        assert mapped == pytest.approx(np.log2(1e6 + 1))
+
+    def test_qerror_gradient_flows(self):
+        estimate = Tensor(np.array([10.0]), requires_grad=True)
+        F.mapped_qerror_loss(estimate, np.array([2.0])).backward()
+        assert estimate.grad is not None
+        assert estimate.grad[0] > 0
+
+
+class TestMADE:
+    def test_output_shape(self):
+        made = nn.MADE(input_bins=[3, 4, 2], output_bins=[5, 6, 4], hidden_sizes=[16, 16])
+        out = made(Tensor(np.ones((7, 9))))
+        assert out.shape == (7, 15)
+
+    def test_column_logits_slicing(self):
+        made = nn.MADE(input_bins=[3, 4], output_bins=[5, 6], hidden_sizes=[8])
+        out = made(Tensor(np.ones((2, 7))))
+        assert made.column_logits(out, 0).shape == (2, 5)
+        assert made.column_logits(out, 1).shape == (2, 6)
+
+    def test_autoregressive_property_by_perturbation(self):
+        """Output block i must not change when inputs of columns >= i change."""
+        made = nn.MADE(input_bins=[2, 3, 2], output_bins=[3, 4, 3],
+                       hidden_sizes=[24, 24], seed=3)
+        rng = np.random.default_rng(0)
+        base = rng.normal(size=(1, 7))
+        base_out = made(Tensor(base)).numpy()
+        for column in range(3):
+            block = made.blocks[column]
+            perturbed = base.copy()
+            perturbed[:, block.input_start:] += rng.normal(size=(1, 7 - block.input_start))
+            out = made(Tensor(perturbed)).numpy()
+            np.testing.assert_allclose(
+                out[:, block.output_start:block.output_end],
+                base_out[:, block.output_start:block.output_end],
+                err_msg=f"output for column {column} depends on columns >= {column}")
+
+    def test_first_column_unconditional(self):
+        made = nn.MADE(input_bins=[2, 2], output_bins=[3, 3], hidden_sizes=[8])
+        a = made(Tensor(np.zeros((1, 4)))).numpy()[:, :3]
+        b = made(Tensor(np.ones((1, 4)) * 5)).numpy()[:, :3]
+        np.testing.assert_allclose(a, b)
+
+    def test_residual_variant_runs(self):
+        made = nn.MADE(input_bins=[2, 3], output_bins=[4, 5],
+                       hidden_sizes=[16, 16, 16], residual=True)
+        out = made(Tensor(np.ones((2, 5))))
+        assert out.shape == (2, 9)
+
+    def test_residual_preserves_autoregressive_property(self):
+        made = nn.MADE(input_bins=[2, 2, 2], output_bins=[3, 3, 3],
+                       hidden_sizes=[12, 12, 12], residual=True, seed=5)
+        base = np.zeros((1, 6))
+        perturbed = base.copy()
+        perturbed[0, 2:] = 9.0
+        np.testing.assert_allclose(
+            made(Tensor(base)).numpy()[:, :3],
+            made(Tensor(perturbed)).numpy()[:, :3])
+
+    def test_invalid_configuration(self):
+        with pytest.raises(ValueError):
+            nn.MADE(input_bins=[2], output_bins=[2, 3], hidden_sizes=[4])
+        with pytest.raises(ValueError):
+            nn.MADE(input_bins=[], output_bins=[], hidden_sizes=[4])
+        with pytest.raises(ValueError):
+            nn.MADE(input_bins=[0], output_bins=[2], hidden_sizes=[4])
+
+    def test_wrong_input_width_raises(self):
+        made = nn.MADE(input_bins=[2, 2], output_bins=[2, 2], hidden_sizes=[4])
+        with pytest.raises(ValueError):
+            made(Tensor(np.ones((1, 5))))
+
+    def test_training_reduces_loss_on_toy_distribution(self):
+        """MADE should learn a strongly dependent two-column distribution."""
+        rng = np.random.default_rng(0)
+        n = 512
+        col0 = rng.integers(0, 3, size=n)
+        col1 = (col0 + 1) % 3  # deterministic dependency
+        onehot = np.zeros((n, 6))
+        onehot[np.arange(n), col0] = 1
+        onehot[np.arange(n), 3 + col1] = 1
+
+        made = nn.MADE(input_bins=[3, 3], output_bins=[3, 3], hidden_sizes=[32], seed=0)
+        optimizer = nn.Adam(made.parameters(), lr=5e-3)
+        losses = []
+        for _ in range(60):
+            out = made(Tensor(onehot))
+            loss = (F.cross_entropy(made.column_logits(out, 0), col0)
+                    + F.cross_entropy(made.column_logits(out, 1), col1))
+            optimizer.zero_grad()
+            loss.backward()
+            optimizer.step()
+            losses.append(loss.item())
+        # col0 is uniform over 3 values (entropy ln 3 ~= 1.10) and col1 is a
+        # deterministic function of col0 (entropy 0), so the optimum is ~1.10.
+        assert losses[-1] < losses[0] * 0.6
+        assert losses[-1] < 1.25
+
+
+class TestOptimisers:
+    def _quadratic_problem(self):
+        target = np.array([3.0, -2.0])
+        parameter = Tensor(np.zeros(2), requires_grad=True)
+        return parameter, target
+
+    def test_sgd_converges(self):
+        parameter, target = self._quadratic_problem()
+        optimizer = nn.SGD([parameter], lr=0.1)
+        for _ in range(200):
+            loss = ((parameter - Tensor(target)) ** 2).sum()
+            optimizer.zero_grad()
+            loss.backward()
+            optimizer.step()
+        np.testing.assert_allclose(parameter.data, target, atol=1e-3)
+
+    def test_sgd_momentum_converges(self):
+        parameter, target = self._quadratic_problem()
+        optimizer = nn.SGD([parameter], lr=0.05, momentum=0.9)
+        for _ in range(200):
+            loss = ((parameter - Tensor(target)) ** 2).sum()
+            optimizer.zero_grad()
+            loss.backward()
+            optimizer.step()
+        np.testing.assert_allclose(parameter.data, target, atol=1e-2)
+
+    def test_adam_converges(self):
+        parameter, target = self._quadratic_problem()
+        optimizer = nn.Adam([parameter], lr=0.1)
+        for _ in range(300):
+            loss = ((parameter - Tensor(target)) ** 2).sum()
+            optimizer.zero_grad()
+            loss.backward()
+            optimizer.step()
+        np.testing.assert_allclose(parameter.data, target, atol=1e-2)
+
+    def test_empty_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            nn.SGD([], lr=0.1)
+
+    def test_invalid_lr_rejected(self):
+        parameter = Tensor(np.zeros(1), requires_grad=True)
+        with pytest.raises(ValueError):
+            nn.Adam([parameter], lr=0.0)
+
+    def test_clip_grad_norm(self):
+        parameter = Tensor(np.zeros(4), requires_grad=True)
+        parameter.grad = np.full(4, 10.0)
+        norm_before = nn.clip_grad_norm([parameter], max_norm=1.0)
+        assert norm_before == pytest.approx(20.0)
+        assert np.linalg.norm(parameter.grad) == pytest.approx(1.0)
+
+
+class TestSerialization:
+    def test_save_and_load_roundtrip(self, tmp_path):
+        model = nn.Sequential(nn.Linear(3, 4), nn.ReLU(), nn.Linear(4, 2))
+        path = tmp_path / "model.npz"
+        nn.save_module(model, path, metadata={"dataset": "census"})
+
+        clone = nn.Sequential(nn.Linear(3, 4), nn.ReLU(), nn.Linear(4, 2))
+        metadata = nn.load_module(clone, path)
+        assert metadata == {"dataset": "census"}
+        x = Tensor(np.random.default_rng(0).normal(size=(2, 3)))
+        np.testing.assert_allclose(model(x).numpy(), clone(x).numpy())

@@ -1,0 +1,278 @@
+"""Tests for predicates, queries, the ground-truth executor, and generators."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data import Column, Table, make_census
+from repro.workload import (
+    Operator,
+    Predicate,
+    Query,
+    Workload,
+    cardinality,
+    execute,
+    make_inworkload,
+    make_multi_predicate_workload,
+    make_random_workload,
+    selectivity,
+    true_cardinalities,
+)
+from repro.workload.generator import WorkloadConfig, WorkloadGenerator
+
+
+@pytest.fixture(scope="module")
+def toy_table():
+    return Table.from_dict("toy", {
+        "a": [1, 2, 3, 4, 5, 1, 2, 3, 4, 5],
+        "b": ["x", "x", "x", "y", "y", "y", "z", "z", "z", "z"],
+        "c": [10, 10, 20, 20, 30, 30, 40, 40, 50, 50],
+    })
+
+
+class TestOperator:
+    def test_from_string(self):
+        assert Operator.from_string(">=") is Operator.GE
+        assert Operator.from_string("=") is Operator.EQ
+
+    def test_unknown_operator(self):
+        with pytest.raises(ValueError):
+            Operator.from_string("!=")
+
+    def test_indices_are_stable_and_unique(self):
+        indices = [op.index for op in Operator]
+        assert sorted(indices) == list(range(5))
+
+
+class TestPredicate:
+    def test_string_operator_coerced(self):
+        predicate = Predicate("a", ">=", 3)
+        assert predicate.operator is Operator.GE
+
+    @pytest.mark.parametrize("op,expected", [
+        ("=", [False, False, True, False, False]),
+        (">", [False, False, False, True, True]),
+        (">=", [False, False, True, True, True]),
+        ("<", [True, True, False, False, False]),
+        ("<=", [True, True, True, False, False]),
+    ])
+    def test_valid_value_mask(self, op, expected):
+        column = Column.from_values("a", [1, 2, 3, 4, 5])
+        mask = Predicate("a", op, 3).valid_value_mask(column)
+        np.testing.assert_array_equal(mask, expected)
+
+    def test_mask_for_absent_equality_value(self):
+        column = Column.from_values("a", [1, 2, 4, 5])
+        mask = Predicate("a", "=", 3).valid_value_mask(column)
+        assert not mask.any()
+
+    def test_range_with_absent_boundary(self):
+        column = Column.from_values("a", [1, 2, 4, 5])
+        mask = Predicate("a", ">", 3).valid_value_mask(column)
+        np.testing.assert_array_equal(mask, [False, False, True, True])
+        mask = Predicate("a", "<=", 3).valid_value_mask(column)
+        np.testing.assert_array_equal(mask, [True, True, False, False])
+
+    def test_evaluate_codes(self, toy_table):
+        column = toy_table.column("a")
+        mask = Predicate("a", ">=", 4).evaluate_codes(column, column.codes)
+        assert mask.sum() == 4
+
+    def test_string_column_range(self):
+        column = Column.from_values("b", ["apple", "banana", "cherry"])
+        mask = Predicate("b", "<=", "banana").valid_value_mask(column)
+        np.testing.assert_array_equal(mask, [True, True, False])
+
+    def test_str(self):
+        assert str(Predicate("a", ">=", 3)) == "a >= 3"
+
+
+class TestQuery:
+    def test_from_triples(self):
+        query = Query.from_triples([("a", ">=", 2), ("b", "=", "x")])
+        assert query.num_predicates == 2
+        assert query.columns == ["a", "b"]
+
+    def test_predicates_on(self):
+        query = Query.from_triples([("a", ">=", 2), ("a", "<=", 4), ("b", "=", "x")])
+        assert len(query.predicates_on("a")) == 2
+        assert query.max_predicates_per_column() == 2
+
+    def test_validate_unknown_column(self, toy_table):
+        query = Query.from_triples([("zzz", "=", 1)])
+        with pytest.raises(KeyError):
+            query.validate(toy_table)
+
+    def test_validate_empty(self, toy_table):
+        with pytest.raises(ValueError):
+            Query([]).validate(toy_table)
+
+    def test_str(self):
+        query = Query.from_triples([("a", ">=", 2), ("b", "=", "x")])
+        assert "AND" in str(query)
+
+
+class TestExecutor:
+    def test_single_equality(self, toy_table):
+        assert cardinality(toy_table, Query.from_triples([("b", "=", "x")])) == 3
+
+    def test_range(self, toy_table):
+        assert cardinality(toy_table, Query.from_triples([("a", ">", 3)])) == 4
+
+    def test_conjunction(self, toy_table):
+        query = Query.from_triples([("a", "<=", 3), ("b", "=", "z")])
+        assert cardinality(toy_table, query) == 2
+
+    def test_two_sided_range_on_one_column(self, toy_table):
+        query = Query.from_triples([("c", ">=", 20), ("c", "<=", 40)])
+        assert cardinality(toy_table, query) == 6
+
+    def test_empty_result(self, toy_table):
+        query = Query.from_triples([("a", ">", 5)])
+        assert cardinality(toy_table, query) == 0
+
+    def test_selectivity(self, toy_table):
+        assert selectivity(toy_table, Query.from_triples([("b", "=", "x")])) == pytest.approx(0.3)
+
+    def test_execute_mask_shape(self, toy_table):
+        mask = execute(toy_table, Query.from_triples([("a", ">=", 1)]))
+        assert mask.shape == (toy_table.num_rows,)
+        assert mask.all()
+
+    def test_true_cardinalities_batch(self, toy_table):
+        queries = [Query.from_triples([("a", "=", value)]) for value in (1, 2, 6)]
+        np.testing.assert_array_equal(true_cardinalities(toy_table, queries), [2, 2, 0])
+
+    def test_matches_bruteforce_on_random_queries(self):
+        """Executor must agree with a naive per-row evaluation."""
+        table = make_census(scale=0.05, seed=9)
+        workload = make_random_workload(table, num_queries=30, seed=5, label=False)
+        raw = {name: table.column(name).distinct_values[table.column(name).codes]
+               for name in table.column_names}
+        comparators = {
+            Operator.EQ: lambda values, literal: values == literal,
+            Operator.GT: lambda values, literal: values > literal,
+            Operator.LT: lambda values, literal: values < literal,
+            Operator.GE: lambda values, literal: values >= literal,
+            Operator.LE: lambda values, literal: values <= literal,
+        }
+        for query in workload:
+            mask = np.ones(table.num_rows, dtype=bool)
+            for predicate in query.predicates:
+                mask &= comparators[predicate.operator](raw[predicate.column], predicate.value)
+            assert cardinality(table, query) == int(mask.sum())
+
+
+class TestGenerator:
+    def test_rand_q_properties(self, toy_table):
+        workload = make_random_workload(toy_table, num_queries=50, seed=0)
+        assert len(workload) == 50
+        assert workload.is_labeled
+        # Tuple-anchored generation guarantees non-empty results.
+        assert (workload.cardinalities >= 1).all()
+
+    def test_inworkload_bounded_column(self):
+        table = make_census(scale=0.05)
+        config = WorkloadConfig(num_queries=200, seed=42, bounded_column=True)
+        generator = WorkloadGenerator(table, config)
+        workload = generator.generate("w", label=False)
+        bounded_index = generator._bounded_column_index
+        bounded_name = table.column(bounded_index).name
+        allowed = {table.column(bounded_index).value_of(code)
+                   for code in generator._bounded_values}
+        seen = {predicate.value for query in workload
+                for predicate in query.predicates if predicate.column == bounded_name}
+        assert seen <= allowed
+
+    def test_multi_predicate_workload(self, toy_table):
+        workload = make_multi_predicate_workload(toy_table, num_queries=50, seed=1)
+        maxima = [query.max_predicates_per_column() for query in workload]
+        assert max(maxima) == 2
+        assert (workload.cardinalities >= 1).all()
+
+    def test_deterministic_with_seed(self, toy_table):
+        first = make_random_workload(toy_table, num_queries=20, seed=3, label=False)
+        second = make_random_workload(toy_table, num_queries=20, seed=3, label=False)
+        assert [str(q) for q in first] == [str(q) for q in second]
+
+    def test_query_column_count_respects_max(self, toy_table):
+        workload = make_random_workload(toy_table, num_queries=30, seed=1,
+                                        max_predicates=2, label=False)
+        assert all(len(query.columns) <= 2 for query in workload)
+
+    def test_in_and_rand_distributions_differ(self):
+        """Figure 4: In-Q and Rand-Q cardinality distributions are different."""
+        table = make_census(scale=0.05)
+        rand_q = make_random_workload(table, num_queries=200, seed=1234)
+        in_q = make_inworkload(table, num_queries=200, seed=42)
+        assert abs(np.median(rand_q.cardinalities) - np.median(in_q.cardinalities)) > 0
+
+
+class TestWorkloadContainer:
+    def test_label_and_selectivities(self, toy_table):
+        workload = Workload("w", [Query.from_triples([("a", "=", 1)])])
+        assert not workload.is_labeled
+        workload.label(toy_table)
+        np.testing.assert_array_equal(workload.cardinalities, [2])
+        np.testing.assert_allclose(workload.selectivities(toy_table), [0.2])
+
+    def test_subset(self, toy_table):
+        workload = make_random_workload(toy_table, num_queries=10, seed=0)
+        subset = workload.subset([0, 3, 5])
+        assert len(subset) == 3
+        assert subset.cardinalities.shape == (3,)
+
+    def test_batches(self, toy_table):
+        workload = make_random_workload(toy_table, num_queries=10, seed=0)
+        batches = list(workload.batches(4))
+        assert [len(batch) for batch in batches] == [4, 4, 2]
+
+    def test_mismatched_labels_rejected(self, toy_table):
+        with pytest.raises(ValueError):
+            Workload("w", [Query.from_triples([("a", "=", 1)])], np.array([1, 2]))
+
+    def test_save_load_roundtrip(self, tmp_path, toy_table):
+        workload = make_random_workload(toy_table, num_queries=15, seed=0)
+        path = workload.save(tmp_path / "w.json")
+        loaded = Workload.load(path)
+        assert len(loaded) == 15
+        np.testing.assert_array_equal(loaded.cardinalities, workload.cardinalities)
+        assert [str(q) for q in loaded] == [str(q) for q in workload]
+        # Re-labelling the loaded workload must reproduce the same counts.
+        relabeled = Workload(loaded.name, loaded.queries).label(toy_table)
+        np.testing.assert_array_equal(relabeled.cardinalities, workload.cardinalities)
+
+
+class TestPropertyBased:
+    @given(st.integers(0, 4), st.sampled_from(["=", ">", "<", ">=", "<="]))
+    @settings(max_examples=60, deadline=None)
+    def test_mask_matches_semantics(self, value, op):
+        column = Column.from_values("a", [0, 1, 2, 3, 4])
+        mask = Predicate("a", op, value).valid_value_mask(column)
+        comparators = {
+            "=": lambda x: x == value,
+            ">": lambda x: x > value,
+            "<": lambda x: x < value,
+            ">=": lambda x: x >= value,
+            "<=": lambda x: x <= value,
+        }
+        expected = comparators[op](np.arange(5))
+        np.testing.assert_array_equal(mask, expected)
+
+    @given(st.lists(st.tuples(st.sampled_from(["a", "b", "c"]),
+                              st.sampled_from(["=", ">=", "<="]),
+                              st.integers(0, 5)),
+                    min_size=1, max_size=4))
+    @settings(max_examples=50, deadline=None)
+    def test_adding_predicates_never_increases_cardinality(self, triples):
+        table = Table.from_dict("t", {
+            "a": list(range(6)) * 5,
+            "b": [i % 3 for i in range(30)],
+            "c": [i // 6 for i in range(30)],
+        })
+        cards = []
+        for count in range(1, len(triples) + 1):
+            query = Query.from_triples(triples[:count])
+            cards.append(cardinality(table, query))
+        assert all(later <= earlier for earlier, later in zip(cards, cards[1:]))
