@@ -12,7 +12,9 @@ The package is organised as one sub-package per subsystem:
 * :mod:`repro.baselines` — Sampling, Indep, MHist, MSCN, DeepDB-SPN, Naru,
   UAE comparison estimators;
 * :mod:`repro.eval` — Q-Error metrics, evaluation harness, experiment
-  drivers for every table and figure of the paper.
+  drivers for every table and figure of the paper;
+* :mod:`repro.serving` — online estimation service (model registry,
+  estimate cache, micro-batching scheduler, load-test client).
 
 Quickstart::
 
@@ -26,8 +28,9 @@ Quickstart::
     estimator.estimate(workload.Query.from_triples([("age", ">=", 30)]))
 """
 
-from . import baselines, core, data, eval, nn, workload
+from . import baselines, core, data, eval, nn, serving, workload
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
-__all__ = ["baselines", "core", "data", "eval", "nn", "workload", "__version__"]
+__all__ = ["baselines", "core", "data", "eval", "nn", "serving", "workload",
+           "__version__"]

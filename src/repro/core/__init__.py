@@ -11,7 +11,7 @@ Public entry points:
 * :class:`CardinalityEstimator` — the interface shared with all baselines.
 """
 
-from .config import DuetConfig, MPSNConfig, dmv_config, small_table_config
+from .config import DuetConfig, MPSNConfig, ServingConfig, dmv_config, small_table_config
 from .disjunction import conjoin, estimate_disjunction
 from .encoding import ColumnPredicateEncoder, QueryCodec, binary_width, resolve_value_strategy
 from .estimator import DuetEstimator, EstimationBreakdown
@@ -24,6 +24,7 @@ from .virtual_table import PredicateGuidance, VirtualTableSampler, VirtualTupleB
 __all__ = [
     "DuetConfig",
     "MPSNConfig",
+    "ServingConfig",
     "dmv_config",
     "small_table_config",
     "QueryCodec",

@@ -4,7 +4,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-__all__ = ["DuetConfig", "MPSNConfig", "dmv_config", "small_table_config"]
+__all__ = ["DuetConfig", "MPSNConfig", "ServingConfig", "dmv_config", "small_table_config"]
 
 _VALID_VALUE_ENCODINGS = ("binary", "onehot", "embedding")
 _VALID_MPSN_KINDS = ("mlp", "rnn", "recursive")
@@ -80,6 +80,56 @@ class DuetConfig:
             raise ValueError("batch_size and epochs must be positive")
         if not self.hidden_sizes:
             raise ValueError("at least one hidden layer is required")
+
+
+@dataclass(frozen=True)
+class ServingConfig:
+    """Knobs of the online estimation service (:mod:`repro.serving`).
+
+    Attributes
+    ----------
+    micro_batching:
+        When true (the default), concurrent ``estimate()`` calls are
+        coalesced by a :class:`~repro.serving.MicroBatcher` into single
+        ``estimate_batch`` forward passes, exploiting the model's vectorised
+        path.  When false the service runs one forward pass per request —
+        the naive mode the throughput benchmark compares against.
+    max_batch_size:
+        Upper bound on how many queued requests one forward pass may serve.
+        Larger batches amortise the per-pass overhead but increase the
+        latency of the first request in the batch.
+    max_wait_ms:
+        How long (milliseconds) the batcher waits for more requests after
+        the first one arrives before closing the batch.  ``0`` degenerates
+        to "drain whatever is already queued"; a couple of milliseconds is
+        enough for batches to form under concurrent load while keeping the
+        idle-service latency near the raw forward-pass cost.
+    cache_capacity:
+        Number of entries of the estimate LRU cache.  Keys are canonical
+        (predicate-order and operator-alias insensitive), so permuted
+        repeats of a query hit the cache and skip the model entirely.
+        ``0`` disables caching.
+    latency_window:
+        Number of most-recent request latencies retained for the p50/p90/p99
+        statistics; older samples are discarded so a long-running service
+        reports a moving window rather than its full history.
+    """
+
+    micro_batching: bool = True
+    max_batch_size: int = 64
+    max_wait_ms: float = 2.0
+    cache_capacity: int = 8192
+    latency_window: int = 65536
+
+    def __post_init__(self) -> None:
+        if self.max_batch_size <= 0:
+            raise ValueError("max_batch_size must be positive")
+        if self.max_wait_ms < 0:
+            raise ValueError("max_wait_ms must be non-negative")
+        if self.cache_capacity < 0:
+            raise ValueError("cache_capacity must be non-negative")
+        if self.latency_window <= 0:
+            raise ValueError("latency_window must be positive")
 
 
 def dmv_config(**overrides) -> DuetConfig:

@@ -41,6 +41,20 @@ class DuetEstimator(CardinalityEstimator):
         estimates, _ = self.estimate_batch_with_breakdown(queries)
         return estimates
 
+    def estimate_batch_timed(self, queries: Sequence[Query]
+                             ) -> tuple[np.ndarray, EstimationBreakdown]:
+        """Batched serving entry point with per-query latency metadata.
+
+        Extends the base-class contract with Duet's encoding/inference phase
+        split: the returned breakdown holds ``encoding``, ``inference``,
+        ``total`` and ``per_query`` (all seconds).
+        """
+        started = time.perf_counter()
+        estimates, breakdown = self.estimate_batch_with_breakdown(queries)
+        breakdown["total"] = time.perf_counter() - started
+        breakdown["per_query"] = breakdown["total"] / max(len(queries), 1)
+        return estimates, breakdown
+
     def estimate_batch_with_breakdown(
         self, queries: Sequence[Query]
     ) -> tuple[np.ndarray, EstimationBreakdown]:

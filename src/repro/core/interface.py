@@ -8,6 +8,8 @@ so the evaluation harness and the benchmark scripts can treat them uniformly.
 from __future__ import annotations
 
 import abc
+import functools
+import time
 from typing import Sequence
 
 import numpy as np
@@ -16,6 +18,29 @@ from ..data.table import Table
 from ..workload.query import Query
 
 __all__ = ["CardinalityEstimator"]
+
+
+def _clamped_estimate(method):
+    """Wrap an ``estimate`` implementation so it never returns below 0."""
+
+    @functools.wraps(method)
+    def wrapper(self, query):
+        return max(float(method(self, query)), 0.0)
+
+    wrapper.__clamped__ = True
+    return wrapper
+
+
+def _clamped_estimate_batch(method):
+    """Wrap an ``estimate_batch`` implementation so it never returns below 0."""
+
+    @functools.wraps(method)
+    def wrapper(self, queries):
+        estimates = np.asarray(method(self, queries), dtype=np.float64)
+        return np.maximum(estimates, 0.0)
+
+    wrapper.__clamped__ = True
+    return wrapper
 
 
 class CardinalityEstimator(abc.ABC):
@@ -31,6 +56,23 @@ class CardinalityEstimator(abc.ABC):
     def __init__(self, table: Table) -> None:
         self.table = table
 
+    def __init_subclass__(cls, **kwargs) -> None:
+        """Enforce the "never below 0" contract on every concrete estimator.
+
+        Any ``estimate``/``estimate_batch`` override a subclass defines is
+        wrapped to clamp its result at 0, so no estimator (present or
+        future) can leak a negative cardinality to callers.
+        """
+        super().__init_subclass__(**kwargs)
+        wrappers = {"estimate": _clamped_estimate,
+                    "estimate_batch": _clamped_estimate_batch}
+        for name, wrap in wrappers.items():
+            method = cls.__dict__.get(name)
+            if (method is not None and callable(method)
+                    and not getattr(method, "__isabstractmethod__", False)
+                    and not getattr(method, "__clamped__", False)):
+                setattr(cls, name, wrap(method))
+
     # ------------------------------------------------------------------
     @abc.abstractmethod
     def estimate(self, query: Query) -> float:
@@ -38,7 +80,24 @@ class CardinalityEstimator(abc.ABC):
 
     def estimate_batch(self, queries: Sequence[Query]) -> np.ndarray:
         """Estimate a batch of queries; subclasses may vectorise this."""
-        return np.array([self.estimate(query) for query in queries], dtype=np.float64)
+        return np.maximum(
+            np.array([self.estimate(query) for query in queries], dtype=np.float64),
+            0.0)
+
+    def estimate_batch_timed(self, queries: Sequence[Query]
+                             ) -> tuple[np.ndarray, dict]:
+        """Batched serving entry point: estimates plus latency metadata.
+
+        Returns ``(estimates, breakdown)`` where ``breakdown`` carries at
+        least ``total`` (wall-clock seconds for the whole batch) and
+        ``per_query`` (mean seconds per query).  Subclasses with a phase
+        breakdown (Duet) extend the dictionary.
+        """
+        started = time.perf_counter()
+        estimates = self.estimate_batch(queries)
+        total = time.perf_counter() - started
+        return estimates, {"total": total,
+                           "per_query": total / max(len(queries), 1)}
 
     # ------------------------------------------------------------------
     def estimate_selectivity(self, query: Query) -> float:

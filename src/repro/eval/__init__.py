@@ -15,9 +15,22 @@ from .experiments import (
     table2_accuracy,
     table3_training_throughput,
 )
-from .harness import EvaluationResult, TrainedDuet, evaluate_estimator, train_duet
+from .harness import (
+    EvaluationResult,
+    ServingResult,
+    TrainedDuet,
+    evaluate_estimator,
+    evaluate_service,
+    train_duet,
+)
+from .loadgen import LoadReport, run_load_test
 from .metrics import QErrorSummary, qerror, summarize_qerrors
-from .reporting import cumulative_distribution, format_series, format_table
+from .reporting import (
+    cumulative_distribution,
+    format_series,
+    format_serving_table,
+    format_table,
+)
 
 __all__ = [
     "qerror",
@@ -25,11 +38,16 @@ __all__ = [
     "summarize_qerrors",
     "format_table",
     "format_series",
+    "format_serving_table",
     "cumulative_distribution",
     "EvaluationResult",
+    "ServingResult",
     "TrainedDuet",
     "evaluate_estimator",
+    "evaluate_service",
     "train_duet",
+    "LoadReport",
+    "run_load_test",
     "SmokeScale",
     "figure3_loss_mapping",
     "figure4_workload_distribution",

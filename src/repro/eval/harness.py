@@ -22,10 +22,14 @@ from ..core import (
 )
 from ..core.interface import CardinalityEstimator
 from ..data.table import Table
+from ..serving.registry import SchemaTable
+from ..serving.service import EstimationService
 from ..workload.workload import Workload
+from .loadgen import LoadReport, run_load_test
 from .metrics import QErrorSummary, qerror, summarize_qerrors
 
-__all__ = ["EvaluationResult", "evaluate_estimator", "train_duet", "TrainedDuet"]
+__all__ = ["EvaluationResult", "ServingResult", "evaluate_estimator",
+           "evaluate_service", "train_duet", "TrainedDuet"]
 
 
 @dataclass(frozen=True)
@@ -66,6 +70,55 @@ def evaluate_estimator(estimator: CardinalityEstimator, workload: Workload,
         total_seconds=elapsed,
         per_query_ms=1e3 * elapsed / max(len(workload), 1),
         size_bytes=estimator.size_bytes(),
+    )
+
+
+@dataclass(frozen=True)
+class ServingResult:
+    """Throughput *and* accuracy of one service configuration.
+
+    The serving counterpart of :class:`EvaluationResult`: the load report
+    covers QPS/latency/cache/batching under concurrency, the Q-Error summary
+    confirms the served estimates are still the model's estimates.
+    """
+
+    estimator_name: str
+    workload_name: str
+    report: LoadReport
+    summary: QErrorSummary
+
+    def as_table_row(self) -> list:
+        return [self.estimator_name] + self.report.as_table_row() + self.summary.as_row()
+
+
+def evaluate_service(service: EstimationService, workload: Workload,
+                     concurrency: int = 8, num_requests: int = 2_000,
+                     table: Table | None = None, seed: int = 0) -> ServingResult:
+    """Load-test ``service`` on ``workload`` and check served accuracy.
+
+    Runs the concurrent load phase first, then asks the service for every
+    workload query once (through the cache) and summarises Q-Errors against
+    the true cardinalities.  A registry-loaded service only carries the
+    data-less schema table, which cannot label a workload — pass the data
+    table via ``table=`` (or a pre-labelled workload) in that case.
+    """
+    table = table or service.table
+    if not workload.is_labeled:
+        if isinstance(table, SchemaTable):
+            raise ValueError(
+                f"table {table.name!r} is a data-less schema stand-in and cannot "
+                f"label workload {workload.name!r}; pass the data table via "
+                f"table= or label the workload first")
+        workload.label(table)
+    report = run_load_test(service, workload, concurrency=concurrency,
+                           num_requests=num_requests, seed=seed)
+    estimates = service.estimate_batch(workload.queries)
+    errors = qerror(estimates, workload.cardinalities)
+    return ServingResult(
+        estimator_name=service.estimator.name,
+        workload_name=workload.name,
+        report=report,
+        summary=summarize_qerrors(errors),
     )
 
 

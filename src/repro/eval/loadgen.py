@@ -1,0 +1,120 @@
+"""Load-generating client: replay a workload against an estimation service.
+
+The shape follows the server/client/stats split of serving benchmarks: an
+:class:`~repro.serving.EstimationService` plays the server, this module is
+the client runner.  ``run_load_test`` spawns ``concurrency`` worker threads,
+releases them simultaneously through a barrier, and has each thread issue
+single-query ``estimate()`` requests drawn from the workload until the
+request budget is spent.  Client-side latencies are recorded per request;
+the report combines them with the service's own cache/batching counters.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..serving.service import EstimationService
+from ..workload.workload import Workload
+
+__all__ = ["LoadReport", "run_load_test"]
+
+
+@dataclass(frozen=True)
+class LoadReport:
+    """Result of one load-test run against one service configuration."""
+
+    mode: str
+    concurrency: int
+    num_requests: int
+    errors: int
+    elapsed_seconds: float
+    qps: float
+    mean_ms: float
+    p50_ms: float
+    p90_ms: float
+    p99_ms: float
+    cache_hit_rate: float
+    mean_batch_size: float
+    forward_passes: int
+
+    def as_table_row(self) -> list:
+        """Row matching :func:`repro.eval.reporting.format_serving_table`."""
+        return [self.mode, self.concurrency, self.num_requests, self.qps,
+                self.p50_ms, self.p90_ms, self.p99_ms,
+                self.cache_hit_rate, self.mean_batch_size, self.forward_passes]
+
+
+def run_load_test(service: EstimationService, workload: Workload,
+                  concurrency: int = 8, num_requests: int = 2_000,
+                  mode: str | None = None, seed: int = 0) -> LoadReport:
+    """Replay ``workload`` at ``concurrency`` threads for ``num_requests``.
+
+    The request stream samples queries from the workload with replacement
+    (deterministically from ``seed``), so it contains repeats — the
+    situation the estimate cache exists for.  To measure the no-cache cost
+    of repeats instead, run the service with ``cache_capacity=0``.
+    """
+    if concurrency <= 0:
+        raise ValueError("concurrency must be positive")
+    if num_requests <= 0:
+        raise ValueError("num_requests must be positive")
+    if len(workload) == 0:
+        raise ValueError("cannot load-test with an empty workload")
+
+    rng = np.random.default_rng(seed)
+    order = rng.integers(0, len(workload), size=num_requests)
+    shares = np.array_split(order, concurrency)
+    barrier = threading.Barrier(concurrency + 1)
+    latencies: list[np.ndarray] = [np.empty(0)] * concurrency
+    errors = [0] * concurrency
+    before = service.snapshot()
+
+    def worker(worker_index: int, indices: np.ndarray) -> None:
+        samples = np.empty(len(indices), dtype=np.float64)
+        barrier.wait()
+        for position, query_index in enumerate(indices):
+            started = time.perf_counter()
+            try:
+                service.estimate(workload.queries[int(query_index)])
+            except Exception:  # noqa: BLE001 — count, keep the run going
+                errors[worker_index] += 1
+            samples[position] = time.perf_counter() - started
+        latencies[worker_index] = samples
+
+    threads = [threading.Thread(target=worker, args=(index, share), daemon=True)
+               for index, share in enumerate(shares)]
+    for thread in threads:
+        thread.start()
+    barrier.wait()
+    started = time.perf_counter()
+    for thread in threads:
+        thread.join()
+    elapsed = max(time.perf_counter() - started, 1e-9)
+
+    after = service.snapshot()
+    all_latencies_ms = 1e3 * np.concatenate([array for array in latencies if array.size])
+    p50, p90, p99 = np.percentile(all_latencies_ms, [50, 90, 99])
+    lookups = ((after.cache_hits - before.cache_hits)
+               + (after.cache_misses - before.cache_misses))
+    hits = after.cache_hits - before.cache_hits
+    forward_passes = after.num_batches - before.num_batches
+    batched = after.batched_requests - before.batched_requests
+    return LoadReport(
+        mode=mode or ("micro-batched" if service.config.micro_batching else "naive"),
+        concurrency=concurrency,
+        num_requests=num_requests,
+        errors=sum(errors),
+        elapsed_seconds=elapsed,
+        qps=num_requests / elapsed,
+        mean_ms=float(all_latencies_ms.mean()),
+        p50_ms=float(p50),
+        p90_ms=float(p90),
+        p99_ms=float(p99),
+        cache_hit_rate=hits / lookups if lookups else 0.0,
+        mean_batch_size=batched / forward_passes if forward_passes else 0.0,
+        forward_passes=forward_passes,
+    )

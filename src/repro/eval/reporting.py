@@ -11,7 +11,12 @@ from typing import Sequence
 
 import numpy as np
 
-__all__ = ["format_table", "format_series", "cumulative_distribution"]
+__all__ = ["format_table", "format_series", "format_serving_table",
+           "cumulative_distribution"]
+
+#: column headers of the serving throughput report (one row per mode/run)
+SERVING_HEADERS = ["mode", "threads", "requests", "QPS", "p50 ms", "p90 ms",
+                   "p99 ms", "hit rate", "batch occ", "fwd passes"]
 
 
 def _format_cell(value) -> str:
@@ -53,6 +58,16 @@ def format_series(x_label: str, x_values: Sequence, series: dict[str, Sequence],
         row = [x_value] + [series[name][index] for name in series]
         rows.append(row)
     return format_table(headers, rows, title=title)
+
+
+def format_serving_table(reports: Sequence, title: str | None = None) -> str:
+    """Render load-test reports as one throughput table.
+
+    Accepts :class:`repro.eval.loadgen.LoadReport` objects (anything with an
+    ``as_table_row`` of :data:`SERVING_HEADERS` arity works).
+    """
+    rows = [report.as_table_row() for report in reports]
+    return format_table(SERVING_HEADERS, rows, title=title)
 
 
 def cumulative_distribution(values: np.ndarray, num_points: int = 50

@@ -9,7 +9,17 @@ import numpy as np
 
 from .layers import Module
 
-__all__ = ["save_module", "load_module"]
+__all__ = ["npz_path", "save_module", "load_module"]
+
+
+def npz_path(path: str | Path) -> Path:
+    """The file ``numpy.savez`` will actually write for ``path``.
+
+    numpy appends ``".npz"`` to any filename not already ending in it; every
+    archive writer must mirror that rule to return a path that exists.
+    """
+    path = Path(path)
+    return path if path.name.endswith(".npz") else path.with_name(path.name + ".npz")
 
 
 def save_module(module: Module, path: str | Path, metadata: dict | None = None) -> Path:
@@ -23,8 +33,9 @@ def save_module(module: Module, path: str | Path, metadata: dict | None = None) 
     state = module.state_dict()
     payload = {key.replace(".", "/"): value for key, value in state.items()}
     payload["__metadata__"] = np.array(json.dumps(metadata or {}))
-    np.savez(path, **payload)
-    return path if path.suffix == ".npz" else path.with_suffix(path.suffix + ".npz")
+    target = npz_path(path)
+    np.savez(target, **payload)
+    return target
 
 
 def load_module(module: Module, path: str | Path) -> dict:
@@ -33,8 +44,8 @@ def load_module(module: Module, path: str | Path) -> dict:
     Returns the metadata dictionary stored alongside the parameters.
     """
     path = Path(path)
-    if not path.exists() and path.with_suffix(path.suffix + ".npz").exists():
-        path = path.with_suffix(path.suffix + ".npz")
+    if not path.exists() and npz_path(path).exists():
+        path = npz_path(path)
     with np.load(path, allow_pickle=False) as archive:
         metadata = json.loads(str(archive["__metadata__"]))
         state = {key.replace("/", "."): archive[key]

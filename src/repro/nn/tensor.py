@@ -13,6 +13,7 @@ here with full broadcasting support.
 
 from __future__ import annotations
 
+import threading
 from typing import Callable, Iterable, Sequence
 
 import numpy as np
@@ -20,30 +21,41 @@ import numpy as np
 __all__ = ["Tensor", "no_grad", "is_grad_enabled"]
 
 
-_GRAD_ENABLED = True
+class _GradMode(threading.local):
+    """Per-thread autograd switch.
+
+    Thread-local so concurrent inference (the serving layer runs
+    ``no_grad`` blocks from many worker threads at once) cannot race on a
+    shared flag and leave gradient tracking permanently disabled.
+    """
+
+    def __init__(self) -> None:
+        self.enabled = True
+
+
+_grad_mode = _GradMode()
 
 
 class no_grad:
     """Context manager that disables gradient tracking.
 
     Mirrors ``torch.no_grad()``: operations executed inside the block build
-    no autograd graph, which keeps inference cheap and deterministic.
+    no autograd graph, which keeps inference cheap and deterministic.  The
+    switch is per-thread, like PyTorch's.
     """
 
     def __enter__(self) -> "no_grad":
-        global _GRAD_ENABLED
-        self._previous = _GRAD_ENABLED
-        _GRAD_ENABLED = False
+        self._previous = _grad_mode.enabled
+        _grad_mode.enabled = False
         return self
 
     def __exit__(self, exc_type, exc_value, traceback) -> None:
-        global _GRAD_ENABLED
-        _GRAD_ENABLED = self._previous
+        _grad_mode.enabled = self._previous
 
 
 def is_grad_enabled() -> bool:
     """Return whether new operations will be recorded for autograd."""
-    return _GRAD_ENABLED
+    return _grad_mode.enabled
 
 
 def _unbroadcast(grad: np.ndarray, shape: tuple[int, ...]) -> np.ndarray:
@@ -84,7 +96,7 @@ class Tensor:
         name: str = "",
     ) -> None:
         self.data = np.asarray(data, dtype=np.float64)
-        self.requires_grad = bool(requires_grad) and _GRAD_ENABLED
+        self.requires_grad = bool(requires_grad) and _grad_mode.enabled
         self.grad: np.ndarray | None = None
         self._parents = _parents if self.requires_grad or _parents else ()
         self._backward = _backward
@@ -149,7 +161,7 @@ class Tensor:
         parents: tuple["Tensor", ...],
         backward: Callable[[np.ndarray], None],
     ) -> "Tensor":
-        requires = _GRAD_ENABLED and any(p.requires_grad for p in parents)
+        requires = _grad_mode.enabled and any(p.requires_grad for p in parents)
         if not requires:
             return Tensor(data)
         return Tensor(data, requires_grad=True, _parents=parents, _backward=backward)
@@ -399,7 +411,7 @@ class Tensor:
                 tensor._accumulate(grad[tuple(slicer)])
 
         parents = tuple(tensors)
-        requires = _GRAD_ENABLED and any(t.requires_grad for t in tensors)
+        requires = _grad_mode.enabled and any(t.requires_grad for t in tensors)
         if not requires:
             return Tensor(out_data)
         return Tensor(out_data, requires_grad=True, _parents=parents, _backward=backward)
@@ -416,7 +428,7 @@ class Tensor:
                 tensor._accumulate(np.squeeze(piece, axis=axis))
 
         parents = tuple(tensors)
-        requires = _GRAD_ENABLED and any(t.requires_grad for t in tensors)
+        requires = _grad_mode.enabled and any(t.requires_grad for t in tensors)
         if not requires:
             return Tensor(out_data)
         return Tensor(out_data, requires_grad=True, _parents=parents, _backward=backward)

@@ -1,0 +1,90 @@
+"""Estimate cache: canonical query keys plus a thread-safe LRU store.
+
+Online workloads repeat themselves (the paper's In-Q workloads model exactly
+that locality), so the serving layer memoises estimates.  The cache key is
+*canonical*: every predicate is translated into the inclusive code interval
+it selects on its column (the same translation Duet's zero-out mask uses),
+intervals on the same column are intersected, and the per-column intervals
+are sorted.  Two queries therefore share a key whenever they select the same
+tuples — regardless of predicate order or of operator spelling (on an
+integer-coded domain ``x > 3`` and ``x >= 4`` select the same interval).
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import Hashable
+
+from ..data.table import Table
+from ..workload.query import Query
+
+__all__ = ["QueryKeyEncoder", "EstimateCache"]
+
+
+class QueryKeyEncoder:
+    """Maps queries onto canonical, hashable cache keys for one table."""
+
+    def __init__(self, table: Table) -> None:
+        self.table = table
+
+    def key(self, query: Query) -> tuple:
+        """Canonical key: sorted ``(column, low, high)`` code intervals.
+
+        Built on :meth:`Query.code_intervals` — the same interval semantics
+        the ground-truth executor uses — so two queries share a key exactly
+        when they select the same tuples.
+        """
+        return tuple(sorted(
+            (column_index, low, high)
+            for column_index, (low, high) in query.code_intervals(self.table).items()
+        ))
+
+
+class EstimateCache:
+    """A thread-safe LRU cache of ``key -> estimate``.
+
+    ``capacity == 0`` disables the cache (every lookup misses, inserts are
+    dropped), which lets the service keep one code path for both modes.
+    Hit/miss accounting lives in :class:`~repro.serving.ServiceStats`, the
+    single authoritative counter set the service reports from.
+    """
+
+    def __init__(self, capacity: int) -> None:
+        if capacity < 0:
+            raise ValueError("capacity must be non-negative")
+        self.capacity = capacity
+        self._entries: "OrderedDict[Hashable, float]" = OrderedDict()
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    def get(self, key: Hashable) -> float | None:
+        """Cached estimate for ``key``, or ``None`` on a miss."""
+        with self._lock:
+            if key in self._entries:
+                self._entries.move_to_end(key)
+                return self._entries[key]
+            return None
+
+    def put(self, key: Hashable, value: float) -> None:
+        """Insert (or refresh) an estimate, evicting the LRU entry if full."""
+        if self.capacity == 0:
+            return
+        with self._lock:
+            self._entries[key] = float(value)
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def __contains__(self, key: Hashable) -> bool:
+        with self._lock:
+            return key in self._entries

@@ -1,0 +1,276 @@
+"""Model registry: persist trained Duet models together with what it takes
+to serve them.
+
+A registry directory holds one sub-directory per ``(dataset, version)`` pair
+containing the model parameters (``model.npz``, via
+:mod:`repro.nn.serialization`), the table schema (``schema.npz``: per-column
+sorted distinct values plus the row count — everything predicate translation
+and selectivity scaling need, without shipping the data itself), and the
+:class:`~repro.core.DuetConfig` the model was built with.  A top-level
+``manifest.json`` indexes every entry and tracks the latest version per
+dataset, so a service can be started with nothing but a registry path and a
+dataset name.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import re
+import time
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+
+from ..core.config import DuetConfig, MPSNConfig
+from ..core.estimator import DuetEstimator
+from ..core.model import DuetModel
+from ..data.column import Column
+from ..data.table import Table
+from ..nn.serialization import load_module, npz_path, save_module
+
+__all__ = ["TableSchema", "SchemaTable", "RegistryEntry", "ModelRegistry"]
+
+_MODEL_FILE = "model.npz"
+_SCHEMA_FILE = "schema.npz"
+_MANIFEST_FILE = "manifest.json"
+_VERSION_PATTERN = re.compile(r"^v(\d+)$")
+
+
+class SchemaTable(Table):
+    """A data-less stand-in for a table: real domains, no tuples.
+
+    Serving needs each column's sorted distinct values (to translate raw
+    predicate literals into code intervals) and the row count (to scale
+    selectivities into cardinalities) but not the tuples themselves, so a
+    reloaded model carries this lightweight table instead of the data.
+    """
+
+    def __init__(self, name: str, columns, num_rows: int) -> None:
+        super().__init__(name, columns)
+        self._num_rows = int(num_rows)
+
+    @property
+    def num_rows(self) -> int:
+        return self._num_rows
+
+    def _no_data(self) -> RuntimeError:
+        return RuntimeError(
+            f"schema-only table {self.name!r} carries no tuples; use the data "
+            f"table for execution, sampling, or training")
+
+    def code_matrix(self) -> np.ndarray:
+        raise self._no_data()
+
+    def row(self, index: int) -> list:
+        raise self._no_data()
+
+    def sample_rows(self, count: int, rng=None) -> np.ndarray:
+        raise self._no_data()
+
+
+@dataclass(frozen=True)
+class TableSchema:
+    """The serving-relevant schema of a table: domains plus row count."""
+
+    name: str
+    num_rows: int
+    column_names: tuple[str, ...]
+    distinct_values: tuple[np.ndarray, ...]
+
+    @classmethod
+    def from_table(cls, table: Table) -> "TableSchema":
+        return cls(
+            name=table.name,
+            num_rows=table.num_rows,
+            column_names=tuple(table.column_names),
+            distinct_values=tuple(column.distinct_values for column in table.columns),
+        )
+
+    def to_table(self) -> SchemaTable:
+        """Rebuild a :class:`SchemaTable` usable by codec and estimator."""
+        columns = [
+            Column(name=column_name, distinct_values=values,
+                   codes=np.empty(0, dtype=np.int64))
+            for column_name, values in zip(self.column_names, self.distinct_values)
+        ]
+        return SchemaTable(self.name, columns, self.num_rows)
+
+    # ------------------------------------------------------------------
+    def save(self, path: str | Path) -> Path:
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        header = {"name": self.name, "num_rows": self.num_rows,
+                  "column_names": list(self.column_names)}
+        payload = {f"column{index}": values
+                   for index, values in enumerate(self.distinct_values)}
+        payload["__header__"] = np.array(json.dumps(header))
+        target = npz_path(path)
+        np.savez(target, **payload)
+        return target
+
+    @classmethod
+    def load(cls, path: str | Path) -> "TableSchema":
+        with np.load(Path(path), allow_pickle=False) as archive:
+            header = json.loads(str(archive["__header__"]))
+            values = tuple(archive[f"column{index}"]
+                           for index in range(len(header["column_names"])))
+        return cls(name=header["name"], num_rows=int(header["num_rows"]),
+                   column_names=tuple(header["column_names"]),
+                   distinct_values=values)
+
+
+@dataclass(frozen=True)
+class RegistryEntry:
+    """One saved ``(dataset, version)`` model as recorded in the manifest."""
+
+    dataset: str
+    version: str
+    directory: Path
+    created_at: float
+    num_parameters: int
+    metadata: dict
+
+    @property
+    def model_path(self) -> Path:
+        return self.directory / _MODEL_FILE
+
+    @property
+    def schema_path(self) -> Path:
+        return self.directory / _SCHEMA_FILE
+
+
+def _config_to_dict(config: DuetConfig) -> dict:
+    payload = dataclasses.asdict(config)
+    payload["hidden_sizes"] = list(config.hidden_sizes)
+    return payload
+
+
+def _config_from_dict(payload: dict) -> DuetConfig:
+    payload = dict(payload)
+    payload["hidden_sizes"] = tuple(payload["hidden_sizes"])
+    payload["mpsn"] = MPSNConfig(**payload["mpsn"])
+    return DuetConfig(**payload)
+
+
+class ModelRegistry:
+    """Save/load trained Duet models keyed by ``(dataset, version)``."""
+
+    def __init__(self, root: str | Path) -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+
+    # ------------------------------------------------------------------
+    # Manifest bookkeeping
+    # ------------------------------------------------------------------
+    @property
+    def manifest_path(self) -> Path:
+        return self.root / _MANIFEST_FILE
+
+    def _read_manifest(self) -> dict:
+        if not self.manifest_path.exists():
+            return {"datasets": {}}
+        return json.loads(self.manifest_path.read_text())
+
+    def _write_manifest(self, manifest: dict) -> None:
+        # Write-then-rename keeps the manifest readable even if the process
+        # dies mid-save.
+        scratch = self.manifest_path.with_name(_MANIFEST_FILE + ".tmp")
+        scratch.write_text(json.dumps(manifest, indent=2, sort_keys=True))
+        scratch.replace(self.manifest_path)
+
+    # ------------------------------------------------------------------
+    # Save
+    # ------------------------------------------------------------------
+    def save(self, model: DuetModel, dataset: str, version: str | None = None,
+             metadata: dict | None = None) -> RegistryEntry:
+        """Persist ``model`` under ``(dataset, version)`` and index it.
+
+        ``version`` defaults to the next ``v<N>`` after the dataset's
+        current versions.  Saving an existing version overwrites it.
+        """
+        manifest = self._read_manifest()
+        entry = manifest["datasets"].setdefault(dataset, {"latest": None, "versions": {}})
+        version = version or self._next_version(entry["versions"])
+        directory = self.root / dataset / version
+        directory.mkdir(parents=True, exist_ok=True)
+
+        save_module(model, directory / _MODEL_FILE,
+                    metadata={"config": _config_to_dict(model.config),
+                              "dataset": dataset, "version": version})
+        TableSchema.from_table(model.table).save(directory / _SCHEMA_FILE)
+
+        record = {
+            "created_at": time.time(),
+            "num_parameters": model.num_parameters(),
+            "metadata": metadata or {},
+        }
+        entry["versions"][version] = record
+        entry["latest"] = version
+        self._write_manifest(manifest)
+        return RegistryEntry(dataset=dataset, version=version, directory=directory,
+                             created_at=record["created_at"],
+                             num_parameters=record["num_parameters"],
+                             metadata=record["metadata"])
+
+    @staticmethod
+    def _next_version(versions: dict) -> str:
+        numbers = [int(match.group(1)) for name in versions
+                   if (match := _VERSION_PATTERN.match(name))]
+        return f"v{max(numbers, default=0) + 1}"
+
+    # ------------------------------------------------------------------
+    # Load
+    # ------------------------------------------------------------------
+    def load_model(self, dataset: str, version: str | None = None) -> DuetModel:
+        """Rebuild the saved model (schema table + config + parameters)."""
+        entry = self.entry(dataset, version)
+        schema = TableSchema.load(entry.schema_path)
+        table = schema.to_table()
+        config = _config_from_dict(load_metadata(entry.model_path)["config"])
+        model = DuetModel(table, config)
+        load_module(model, entry.model_path)
+        model.eval()
+        return model
+
+    def load_estimator(self, dataset: str, version: str | None = None) -> DuetEstimator:
+        """Rebuild a ready-to-serve estimator for ``(dataset, version)``."""
+        return DuetEstimator(self.load_model(dataset, version))
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def datasets(self) -> list[str]:
+        return sorted(self._read_manifest()["datasets"])
+
+    def versions(self, dataset: str) -> list[str]:
+        entry = self._read_manifest()["datasets"].get(dataset, {"versions": {}})
+        return sorted(entry["versions"])
+
+    def latest_version(self, dataset: str) -> str:
+        datasets = self._read_manifest()["datasets"]
+        if dataset not in datasets or not datasets[dataset]["latest"]:
+            raise KeyError(f"registry has no models for dataset {dataset!r}")
+        return datasets[dataset]["latest"]
+
+    def entry(self, dataset: str, version: str | None = None) -> RegistryEntry:
+        version = version or self.latest_version(dataset)
+        datasets = self._read_manifest()["datasets"]
+        if dataset not in datasets or version not in datasets[dataset]["versions"]:
+            raise KeyError(f"registry has no entry for ({dataset!r}, {version!r})")
+        record = datasets[dataset]["versions"][version]
+        return RegistryEntry(dataset=dataset, version=version,
+                             directory=self.root / dataset / version,
+                             created_at=record["created_at"],
+                             num_parameters=record["num_parameters"],
+                             metadata=record["metadata"])
+
+    def __contains__(self, dataset: str) -> bool:
+        return dataset in self._read_manifest()["datasets"]
+
+
+def load_metadata(path: str | Path) -> dict:
+    """Read only the JSON metadata of a ``save_module`` archive."""
+    with np.load(Path(path), allow_pickle=False) as archive:
+        return json.loads(str(archive["__metadata__"]))

@@ -1,0 +1,142 @@
+"""Online estimation service: the frontend tying registry, cache, batcher and
+stats together.
+
+One :class:`EstimationService` wraps one :class:`~repro.core.CardinalityEstimator`
+(usually a :class:`~repro.core.DuetEstimator` reloaded from a
+:class:`~repro.serving.ModelRegistry`) and answers concurrent single-query
+``estimate()`` calls:
+
+1. the query is canonicalised into a cache key; a hit returns immediately
+   without touching the model,
+2. on a miss the query is handed to the :class:`~repro.serving.MicroBatcher`,
+   which coalesces concurrent misses into one vectorised forward pass,
+3. the result is cached and the request latency recorded.
+
+The service is thread-safe and meant to be shared across worker threads —
+the usage pattern of a query optimizer asking for cardinalities while
+planning many queries at once.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Sequence
+
+import numpy as np
+
+from ..core.config import ServingConfig
+from ..core.interface import CardinalityEstimator
+from ..workload.query import Query
+from .batcher import BatcherStats, MicroBatcher
+from .cache import EstimateCache, QueryKeyEncoder
+from .registry import ModelRegistry
+from .stats import ServiceStats, StatsSnapshot
+
+__all__ = ["EstimationService"]
+
+
+class EstimationService:
+    """Concurrent, cached, micro-batched frontend over one estimator."""
+
+    def __init__(self, estimator: CardinalityEstimator,
+                 config: ServingConfig | None = None) -> None:
+        self.estimator = estimator
+        self.config = config or ServingConfig()
+        self._keys = QueryKeyEncoder(estimator.table)
+        self.cache = EstimateCache(self.config.cache_capacity)
+        self.stats = ServiceStats(latency_window=self.config.latency_window)
+        self._batcher: MicroBatcher | None = None
+        if self.config.micro_batching:
+            self._batcher = MicroBatcher(self._run_batch,
+                                         max_batch_size=self.config.max_batch_size,
+                                         max_wait_ms=self.config.max_wait_ms)
+
+    @classmethod
+    def from_registry(cls, registry: ModelRegistry | str, dataset: str,
+                      version: str | None = None,
+                      config: ServingConfig | None = None) -> "EstimationService":
+        """Start a service from a saved model: registry path + dataset name."""
+        if not isinstance(registry, ModelRegistry):
+            registry = ModelRegistry(registry)
+        return cls(registry.load_estimator(dataset, version), config)
+
+    # ------------------------------------------------------------------
+    # Request paths
+    # ------------------------------------------------------------------
+    def estimate(self, query: Query) -> float:
+        """Answer one query: cache, then (micro-batched) forward pass."""
+        started = time.perf_counter()
+        key = self._keys.key(query) if self.config.cache_capacity else None
+        if key is not None:
+            cached = self.cache.get(key)
+            if cached is not None:
+                self.stats.record_request(time.perf_counter() - started, cache_hit=True)
+                return cached
+        if self._batcher is not None:
+            estimate = self._batcher.submit(query).result()
+        else:
+            estimate = float(np.asarray(self._run_batch([query]))[0])
+        if key is not None:
+            self.cache.put(key, estimate)
+        self.stats.record_request(time.perf_counter() - started, cache_hit=False)
+        return estimate
+
+    def estimate_batch(self, queries: Sequence[Query]) -> np.ndarray:
+        """Vectorised offline path: answer a whole batch through the cache.
+
+        Cached queries are served from the cache; the rest go through one
+        forward pass.  Useful for accuracy evaluation of a running service.
+        """
+        queries = list(queries)
+        started = time.perf_counter()
+        estimates = np.empty(len(queries), dtype=np.float64)
+        missing: list[int] = []
+        keys: list = [None] * len(queries)
+        for index, query in enumerate(queries):
+            key = self._keys.key(query) if self.config.cache_capacity else None
+            keys[index] = key
+            cached = self.cache.get(key) if key is not None else None
+            if cached is None:
+                missing.append(index)
+            else:
+                estimates[index] = cached
+        if missing:
+            computed = np.asarray(self._run_batch([queries[index] for index in missing]),
+                                  dtype=np.float64)
+            for position, index in enumerate(missing):
+                estimates[index] = computed[position]
+                if keys[index] is not None:
+                    self.cache.put(keys[index], float(computed[position]))
+        per_query = (time.perf_counter() - started) / max(len(queries), 1)
+        missed = set(missing)
+        for index in range(len(queries)):
+            self.stats.record_request(per_query, cache_hit=index not in missed)
+        return estimates
+
+    def _run_batch(self, queries: Sequence[Query]) -> np.ndarray:
+        estimates, _ = self.estimator.estimate_batch_timed(queries)
+        self.stats.record_batch(len(queries))
+        return estimates
+
+    # ------------------------------------------------------------------
+    # Introspection and lifecycle
+    # ------------------------------------------------------------------
+    def snapshot(self) -> StatsSnapshot:
+        return self.stats.snapshot()
+
+    def batcher_stats(self) -> BatcherStats | None:
+        return self._batcher.stats() if self._batcher is not None else None
+
+    @property
+    def table(self):
+        return self.estimator.table
+
+    def close(self) -> None:
+        if self._batcher is not None:
+            self._batcher.close()
+
+    def __enter__(self) -> "EstimationService":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -1,0 +1,120 @@
+"""Thread-safe service statistics: QPS, latency percentiles, cache and batch
+occupancy counters.
+
+Every ``estimate()`` call records one latency sample plus whether it was a
+cache hit; the batch runner records the size of every forward pass.  A
+:meth:`ServiceStats.snapshot` is cheap and consistent (taken under the same
+lock the recorders use) and renders as one row of the serving report table.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["ServiceStats", "StatsSnapshot"]
+
+
+@dataclass(frozen=True)
+class StatsSnapshot:
+    """Point-in-time view of a service's performance counters."""
+
+    requests: int
+    elapsed_seconds: float
+    qps: float
+    mean_ms: float
+    p50_ms: float
+    p90_ms: float
+    p99_ms: float
+    cache_hits: int
+    cache_misses: int
+    cache_hit_rate: float
+    num_batches: int
+    batched_requests: int
+    mean_batch_size: float
+
+    def as_table_row(self) -> list:
+        """Row for :func:`repro.eval.reporting.format_table` serving reports."""
+        return [self.requests, self.qps, self.p50_ms, self.p90_ms, self.p99_ms,
+                self.cache_hit_rate, self.mean_batch_size]
+
+    def __str__(self) -> str:
+        return (f"requests={self.requests} qps={self.qps:.0f} "
+                f"p50={self.p50_ms:.3f}ms p90={self.p90_ms:.3f}ms "
+                f"p99={self.p99_ms:.3f}ms hit_rate={self.cache_hit_rate:.2f} "
+                f"batch_occupancy={self.mean_batch_size:.1f}")
+
+
+class ServiceStats:
+    """Accumulates request/batch observations from concurrent threads."""
+
+    def __init__(self, latency_window: int = 65536) -> None:
+        if latency_window <= 0:
+            raise ValueError("latency_window must be positive")
+        self._lock = threading.Lock()
+        self._latencies: deque[float] = deque(maxlen=latency_window)
+        self._requests = 0
+        self._cache_hits = 0
+        self._cache_misses = 0
+        self._num_batches = 0
+        self._batched_requests = 0
+        self._started = time.perf_counter()
+
+    # ------------------------------------------------------------------
+    def record_request(self, latency_seconds: float, cache_hit: bool) -> None:
+        with self._lock:
+            self._requests += 1
+            self._latencies.append(latency_seconds)
+            if cache_hit:
+                self._cache_hits += 1
+            else:
+                self._cache_misses += 1
+
+    def record_batch(self, batch_size: int) -> None:
+        with self._lock:
+            self._num_batches += 1
+            self._batched_requests += batch_size
+
+    def reset(self) -> None:
+        """Zero every counter and restart the QPS clock."""
+        with self._lock:
+            self._latencies.clear()
+            self._requests = 0
+            self._cache_hits = 0
+            self._cache_misses = 0
+            self._num_batches = 0
+            self._batched_requests = 0
+            self._started = time.perf_counter()
+
+    # ------------------------------------------------------------------
+    def snapshot(self) -> StatsSnapshot:
+        with self._lock:
+            elapsed = max(time.perf_counter() - self._started, 1e-9)
+            latencies_ms = 1e3 * np.asarray(self._latencies, dtype=np.float64)
+            if latencies_ms.size:
+                mean_ms = float(latencies_ms.mean())
+                p50_ms, p90_ms, p99_ms = (
+                    float(value) for value in np.percentile(latencies_ms, [50, 90, 99]))
+            else:
+                mean_ms = p50_ms = p90_ms = p99_ms = 0.0
+            lookups = self._cache_hits + self._cache_misses
+            return StatsSnapshot(
+                requests=self._requests,
+                elapsed_seconds=elapsed,
+                qps=self._requests / elapsed,
+                mean_ms=mean_ms,
+                p50_ms=p50_ms,
+                p90_ms=p90_ms,
+                p99_ms=p99_ms,
+                cache_hits=self._cache_hits,
+                cache_misses=self._cache_misses,
+                cache_hit_rate=self._cache_hits / lookups if lookups else 0.0,
+                num_batches=self._num_batches,
+                batched_requests=self._batched_requests,
+                mean_batch_size=(self._batched_requests / self._num_batches
+                                 if self._num_batches else 0.0),
+            )

@@ -55,6 +55,34 @@ class Query:
             return 0
         return max(len(self.predicates_on(column)) for column in self.columns)
 
+    def code_intervals(self, table: Table) -> dict[int, tuple[int, int]]:
+        """This query as one inclusive code interval per constrained column.
+
+        Conjunctions of interval predicates stay intervals, so all predicates
+        on one column intersect into a single ``(low, high)`` pair.  Intervals
+        covering a column's whole domain are dropped (the predicate does not
+        constrain anything); an unsatisfiable intersection is normalised to
+        the canonical empty interval ``(1, 0)``.  This is the semantic form
+        shared by the ground-truth executor and the serving cache key: two
+        queries with equal interval maps select exactly the same tuples.
+        """
+        intervals: dict[int, tuple[int, int]] = {}
+        for predicate in self.predicates:
+            column_index = table.column_index(predicate.column)
+            column = table.column(column_index)
+            low, high = predicate.code_interval(column)
+            previous = intervals.get(column_index)
+            if previous is not None:
+                low, high = max(previous[0], low), min(previous[1], high)
+            if low > high:
+                low, high = 1, 0
+            intervals[column_index] = (low, high)
+        return {
+            column_index: (low, high)
+            for column_index, (low, high) in intervals.items()
+            if not (low == 0 and high == table.column(column_index).num_distinct - 1)
+        }
+
     # ------------------------------------------------------------------
     def validate(self, table: Table) -> None:
         """Raise if the query references columns the table does not have."""

@@ -240,3 +240,51 @@ class TestUAE:
         query = Query.from_triples([("a", "<=", 4)])
         truth = cardinality(table, query)
         assert qerror(estimator.estimate(query), truth) < 3.0
+
+
+class TestNonNegativeContract:
+    """The interface guarantees ``estimate >= 0`` for every estimator."""
+
+    def test_negative_overrides_are_clamped(self, table):
+        from repro.core import CardinalityEstimator
+
+        class BrokenEstimator(CardinalityEstimator):
+            name = "broken"
+
+            def estimate(self, query):
+                return -42.0
+
+            def estimate_batch(self, queries):
+                return np.full(len(queries), -7.5)
+
+        broken = BrokenEstimator(table)
+        query = Query.from_triples([("a", "=", 3)])
+        assert broken.estimate(query) == 0.0
+        assert np.array_equal(broken.estimate_batch([query, query]), np.zeros(2))
+        assert broken.estimate_selectivity(query) == 0.0
+
+    def test_default_estimate_batch_clamps_too(self, table):
+        from repro.core import CardinalityEstimator
+
+        class LoopedEstimator(CardinalityEstimator):
+            name = "looped"
+
+            def estimate(self, query):
+                return -1.0
+
+        # Clamping applies in estimate() before the base batch loop runs,
+        # and the base loop clamps again on its own.
+        looped = LoopedEstimator(table)
+        query = Query.from_triples([("a", "=", 3)])
+        assert np.array_equal(looped.estimate_batch([query] * 3), np.zeros(3))
+
+    @pytest.mark.parametrize("build", [
+        lambda table: SamplingEstimator(table, sample_fraction=0.05, seed=0),
+        lambda table: IndependenceEstimator(table),
+        lambda table: MHistEstimator(table, num_buckets=8),
+    ])
+    def test_baselines_never_negative_on_workload(self, table, workload, build):
+        estimator = build(table)
+        estimates = estimator.estimate_batch(workload.queries)
+        assert np.all(estimates >= 0.0)
+        assert all(estimator.estimate(query) >= 0.0 for query in workload.queries)

@@ -344,3 +344,26 @@ class TestSerialization:
         assert metadata == {"dataset": "census"}
         x = Tensor(np.random.default_rng(0).normal(size=(2, 3)))
         np.testing.assert_allclose(model(x).numpy(), clone(x).numpy())
+
+    def test_roundtrip_without_npz_suffix(self, tmp_path):
+        model = nn.Sequential(nn.Linear(3, 4), nn.ReLU(), nn.Linear(4, 2))
+        for filename in ("model", "model.v1", "checkpoint.backup"):
+            metadata = {"dataset": "census", "epoch": 7, "note": filename}
+            returned = nn.save_module(model, tmp_path / filename, metadata=metadata)
+            # save_module must return the file numpy actually wrote.
+            assert returned.exists()
+            assert returned.name == filename + ".npz"
+
+            clone = nn.Sequential(nn.Linear(3, 4), nn.ReLU(), nn.Linear(4, 2))
+            # Loading works through the returned path and the original one.
+            assert nn.load_module(clone, returned) == metadata
+            assert nn.load_module(clone, tmp_path / filename) == metadata
+            x = Tensor(np.random.default_rng(1).normal(size=(2, 3)))
+            np.testing.assert_allclose(model(x).numpy(), clone(x).numpy())
+
+    def test_suffixed_path_is_not_doubled(self, tmp_path):
+        model = nn.Sequential(nn.Linear(2, 2))
+        returned = nn.save_module(model, tmp_path / "weights.npz")
+        assert returned == tmp_path / "weights.npz"
+        assert returned.exists()
+        assert not (tmp_path / "weights.npz.npz").exists()

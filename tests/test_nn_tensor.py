@@ -262,3 +262,50 @@ class TestPropertyBased:
     @settings(max_examples=30, deadline=None)
     def test_relu_output_nonnegative(self, data):
         assert (Tensor(data).relu().numpy() >= 0).all()
+
+
+class TestGradModeThreadSafety:
+    """``no_grad`` is per-thread: concurrent inference must not corrupt it."""
+
+    def test_no_grad_is_thread_local(self):
+        import threading
+
+        from repro.nn import is_grad_enabled
+
+        seen_inside = []
+
+        def worker():
+            with no_grad():
+                seen_inside.append(is_grad_enabled())
+
+        with no_grad():
+            thread = threading.Thread(target=worker)
+            # A sibling thread starts with gradients enabled regardless of
+            # this thread's no_grad block...
+            probe = []
+            checker = threading.Thread(target=lambda: probe.append(is_grad_enabled()))
+            checker.start(); checker.join()
+            thread.start(); thread.join()
+        assert probe == [True]
+        assert seen_inside == [False]
+        assert is_grad_enabled()
+
+    def test_concurrent_no_grad_blocks_cannot_stick_disabled(self):
+        import threading
+
+        from repro.nn import is_grad_enabled
+
+        def worker():
+            for _ in range(200):
+                with no_grad():
+                    pass
+
+        threads = [threading.Thread(target=worker) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        # The historical bug: a shared flag raced across threads and stayed
+        # False, so freshly built models registered zero parameters.
+        assert is_grad_enabled()
+        assert Tensor(np.zeros(2), requires_grad=True).requires_grad

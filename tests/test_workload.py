@@ -164,6 +164,52 @@ class TestExecutor:
             assert cardinality(table, query) == int(mask.sum())
 
 
+class TestVectorizedLabeling:
+    """``true_cardinalities`` labels in chunks; it must match the per-query path."""
+
+    def test_matches_per_query_executor(self):
+        table = make_census(scale=0.05, seed=4)
+        workload = make_random_workload(table, num_queries=80, seed=21, label=False)
+        expected = np.array([cardinality(table, query) for query in workload],
+                            dtype=np.int64)
+        np.testing.assert_array_equal(
+            true_cardinalities(table, workload.queries), expected)
+
+    def test_chunk_boundaries_do_not_matter(self, toy_table):
+        queries = [Query.from_triples([("a", op, value)])
+                   for op in ("=", ">", "<=") for value in (1, 3, 5)]
+        reference = true_cardinalities(toy_table, queries)
+        for chunk_size in (1, 2, 4, 7, len(queries), 1000):
+            np.testing.assert_array_equal(
+                true_cardinalities(toy_table, queries, chunk_size=chunk_size),
+                reference)
+
+    def test_multiple_predicates_per_column_intersect(self, toy_table):
+        queries = [
+            Query.from_triples([("a", ">=", 2), ("a", "<=", 4)]),
+            Query.from_triples([("a", ">=", 4), ("a", "<=", 2)]),  # empty interval
+            Query.from_triples([("a", ">", 1), ("b", "=", "z"), ("a", "<", 5)]),
+        ]
+        expected = np.array([cardinality(toy_table, query) for query in queries])
+        np.testing.assert_array_equal(true_cardinalities(toy_table, queries), expected)
+
+    def test_multi_predicate_workload_agrees(self):
+        table = make_census(scale=0.05, seed=6)
+        workload = make_multi_predicate_workload(table, num_queries=40, seed=13,
+                                                 label=False)
+        expected = np.array([cardinality(table, query) for query in workload])
+        np.testing.assert_array_equal(
+            true_cardinalities(table, workload.queries), expected)
+
+    def test_invalid_chunk_size(self, toy_table):
+        with pytest.raises(ValueError):
+            true_cardinalities(toy_table, [], chunk_size=0)
+
+    def test_unknown_column_still_raises(self, toy_table):
+        with pytest.raises(KeyError):
+            true_cardinalities(toy_table, [Query.from_triples([("zz", "=", 1)])])
+
+
 class TestGenerator:
     def test_rand_q_properties(self, toy_table):
         workload = make_random_workload(toy_table, num_queries=50, seed=0)
