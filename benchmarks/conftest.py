@@ -15,9 +15,18 @@ closer to the paper's setup.
 
 from __future__ import annotations
 
+import json
+import os
+import platform
+import time
+from pathlib import Path
+
 import pytest
 
 from repro.eval import SmokeScale
+
+#: directory holding the committed benchmark baselines (BENCH_*.json)
+BENCH_DIR = Path(__file__).resolve().parent
 
 
 def pytest_addoption(parser):
@@ -54,3 +63,52 @@ def naru_samples(request) -> int:
 def run_once(benchmark, target, *args, **kwargs):
     """Run an experiment driver exactly once under pytest-benchmark timing."""
     return benchmark.pedantic(target, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+
+def record_bench_snapshot(name: str, metrics: dict, tolerance: float = 0.4) -> list[str]:
+    """Write or compare a benchmark baseline (``benchmarks/BENCH_<name>.json``).
+
+    First run (or ``REPRO_BENCH_UPDATE=1``) writes the baseline; later runs
+    compare against it and return a list of human-readable regression notes
+    — **never** asserting, so the comparison stays non-blocking (wall-clock
+    margins are machine-dependent; the CI job only surfaces the report).
+
+    Metric direction is inferred from the key: ``*_qps`` / ``*speedup*``
+    are higher-is-better, ``*_ms`` lower-is-better, anything else is only
+    recorded.  ``tolerance`` is the allowed relative slowdown.
+    """
+    path = BENCH_DIR / f"BENCH_{name}.json"
+    payload = {
+        "recorded_at": time.strftime("%Y-%m-%d %H:%M:%S"),
+        "machine": platform.machine(),
+        "python": platform.python_version(),
+        "metrics": metrics,
+    }
+    if not path.exists() or os.environ.get("REPRO_BENCH_UPDATE"):
+        path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+        print(f"[bench-snapshot] wrote baseline {path.name}")
+        return []
+    baseline = json.loads(path.read_text())["metrics"]
+    regressions: list[str] = []
+    for key, value in sorted(metrics.items()):
+        base = baseline.get(key)
+        if not isinstance(base, (int, float)) or not isinstance(value, (int, float)):
+            continue
+        if base <= 0:
+            continue
+        ratio = value / base
+        if key.endswith("_ms"):
+            if ratio > 1.0 + tolerance:
+                regressions.append(f"{key}: {value:.4g} vs baseline {base:.4g} "
+                                   f"({ratio:.2f}x slower)")
+        elif key.endswith("_qps") or "speedup" in key:
+            if ratio < 1.0 - tolerance:
+                regressions.append(f"{key}: {value:.4g} vs baseline {base:.4g} "
+                                   f"({1 / max(ratio, 1e-9):.2f}x slower)")
+    if regressions:
+        print(f"[bench-snapshot] {name}: possible regressions vs {path.name}:")
+        for line in regressions:
+            print(f"  - {line}")
+    else:
+        print(f"[bench-snapshot] {name}: within {tolerance:.0%} of {path.name}")
+    return regressions

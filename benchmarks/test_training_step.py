@@ -1,0 +1,135 @@
+"""Training-step micro-benchmark: the optimiser must stay allocation-free.
+
+Not a paper table — this guards the in-place ``Adam``/``SGD`` updates and
+the single-pass ``clip_grad_norm``: one optimiser step over a DMV-sized
+Duet model must not allocate memory proportional to the parameter count
+(no ``gradient ** 2`` / ``corrected_*`` temporaries, ``parameter.data``
+updated in place).  The allocation bound is checked with ``tracemalloc``
+(NumPy registers its buffers there), which is machine-independent; the
+steps-per-second comparison against a deliberately allocating reference
+implementation is recorded in the ``BENCH_training_step.json`` snapshot.
+"""
+
+import time
+import tracemalloc
+
+import numpy as np
+
+from conftest import record_bench_snapshot
+
+from repro import nn
+from repro.core import DuetModel
+from repro.core.config import dmv_config
+from repro.data import make_census
+
+STEPS = 30
+
+
+class _AllocatingAdam(nn.Optimizer):
+    """The pre-optimisation Adam, kept as the timing reference."""
+
+    def __init__(self, parameters, lr=2e-3, betas=(0.9, 0.999), eps=1e-8):
+        super().__init__(parameters)
+        self.lr = lr
+        self.beta1, self.beta2 = betas
+        self.eps = eps
+        self._step_count = 0
+        self._first = [np.zeros_like(p.data) for p in self.parameters]
+        self._second = [np.zeros_like(p.data) for p in self.parameters]
+
+    def step(self):
+        self._step_count += 1
+        correction1 = 1.0 - self.beta1 ** self._step_count
+        correction2 = 1.0 - self.beta2 ** self._step_count
+        for parameter, first, second in zip(self.parameters, self._first,
+                                            self._second):
+            if parameter.grad is None:
+                continue
+            gradient = parameter.grad
+            first *= self.beta1
+            first += (1.0 - self.beta1) * gradient
+            second *= self.beta2
+            second += (1.0 - self.beta2) * gradient ** 2
+            corrected_first = first / correction1
+            corrected_second = second / correction2
+            parameter.data = parameter.data - self.lr * corrected_first / (
+                np.sqrt(corrected_second) + self.eps)
+
+
+def _populate_gradients(model):
+    values = np.full((32, model.num_columns, 1), -1, dtype=np.int64)
+    ops = np.full((32, model.num_columns, 1), -1, dtype=np.int64)
+    outputs = model.forward(values, ops)
+    outputs.sum().backward()
+
+
+def _steps_per_second(optimizer, model, steps=STEPS):
+    optimizer.step()  # warm-up (first-step lazy work, cache effects)
+    started = time.perf_counter()
+    for _ in range(steps):
+        nn.clip_grad_norm(model.parameters(), 10.0)
+        optimizer.step()
+    return steps / (time.perf_counter() - started)
+
+
+def test_training_step_is_allocation_free_and_fast():
+    table = make_census(scale=0.04, seed=0)
+    model = DuetModel(table, dmv_config(seed=0))
+    _populate_gradients(model)
+    parameter_bytes = sum(p.data.nbytes for p in model.parameters())
+    optimizer = nn.Adam(model.parameters(), lr=2e-3)
+    optimizer.step()  # warm up any lazy state before tracing
+
+    tracemalloc.start()
+    before = tracemalloc.take_snapshot()
+    nn.clip_grad_norm(model.parameters(), 10.0)
+    optimizer.step()
+    after = tracemalloc.take_snapshot()
+    tracemalloc.stop()
+    allocated = sum(max(stat.size_diff, 0)
+                    for stat in after.compare_to(before, "filename"))
+
+    # The guard: one step + clip must not allocate anywhere near the model
+    # size (the old implementation allocated ~5x parameter_bytes per step).
+    assert allocated < parameter_bytes / 4, (
+        f"optimizer step allocated {allocated} bytes "
+        f"(model holds {parameter_bytes})")
+
+    in_place_sps = _steps_per_second(optimizer, model)
+
+    reference_model = DuetModel(table, dmv_config(seed=0))
+    _populate_gradients(reference_model)
+    reference_sps = _steps_per_second(_AllocatingAdam(reference_model.parameters()),
+                                      reference_model)
+
+    print(f"\nAdam steps/s: in-place {in_place_sps:.1f} vs "
+          f"allocating reference {reference_sps:.1f} "
+          f"({in_place_sps / reference_sps:.2f}x) over "
+          f"{parameter_bytes / 1e6:.1f} MB of parameters")
+    # In-place must never be meaningfully slower than the allocating form.
+    assert in_place_sps > 0.75 * reference_sps
+
+    record_bench_snapshot("training_step", {
+        "in_place_steps_per_s_qps": in_place_sps,
+        "reference_steps_per_s_qps": reference_sps,
+        "step_alloc_bytes": float(allocated),
+    })
+
+
+def test_sgd_momentum_step_is_allocation_free():
+    table = make_census(scale=0.04, seed=0)
+    model = DuetModel(table, dmv_config(seed=0))
+    _populate_gradients(model)
+    parameter_bytes = sum(p.data.nbytes for p in model.parameters())
+    optimizer = nn.SGD(model.parameters(), lr=1e-2, momentum=0.9,
+                       weight_decay=1e-4)
+    optimizer.step()
+
+    tracemalloc.start()
+    before = tracemalloc.take_snapshot()
+    optimizer.step()
+    after = tracemalloc.take_snapshot()
+    tracemalloc.stop()
+    allocated = sum(max(stat.size_diff, 0)
+                    for stat in after.compare_to(before, "filename"))
+    assert allocated < parameter_bytes / 4

@@ -5,11 +5,13 @@ Run with::
     python examples/serve_estimates.py
 
 The script trains Duet on the synthetic Census stand-in, persists the model
-through the :class:`~repro.serving.ModelRegistry`, restarts an estimator
-from the registry alone (no training state, no data tuples), and drives the
+through the :class:`~repro.serving.ModelRegistry` (together with the compile
+options the service should serve it with), restarts an estimator from the
+registry alone (no training state, no data tuples), and drives the
 :class:`~repro.serving.EstimationService` with a concurrent load test in
-three configurations: naive one-query-per-forward-pass, micro-batched, and
-micro-batched with the estimate cache.
+four configurations: naive one-query-per-tape-pass, micro-batched on the
+tape, micro-batched through the compiled float32 plan, and compiled with
+the estimate cache on top.
 """
 
 from __future__ import annotations
@@ -21,6 +23,7 @@ import numpy as np
 from repro.core import ServingConfig
 from repro.data import make_census
 from repro.eval import format_serving_table, run_load_test, train_duet
+from repro.nn import PlanOptions
 from repro.serving import EstimationService, ModelRegistry
 from repro.workload import make_inworkload, make_random_workload
 
@@ -32,27 +35,35 @@ def main() -> None:
     trained = train_duet(table, make_inworkload(table, num_queries=600, seed=42),
                          epochs=3)
 
-    # 2. Register: persist parameters + config + schema under (dataset, version).
+    # 2. Register: persist parameters + config + schema under (dataset,
+    #    version), plus the plan options serving should compile with.
     registry = ModelRegistry(tempfile.mkdtemp(prefix="duet-registry-"))
     entry = registry.save(trained.model, dataset="census",
-                          metadata={"trained_on": f"{table.num_rows} rows"})
+                          metadata={"trained_on": f"{table.num_rows} rows"},
+                          compile_options=PlanOptions(dtype="float32"))
     print(f"registered {entry.dataset}/{entry.version} "
           f"({entry.num_parameters} parameters) under {registry.root}")
 
-    # 3. Reload: the registry alone is enough to serve (schema + config + weights).
+    # 3. Reload: the registry alone is enough to serve (schema + config +
+    #    weights + compile options — the estimator comes back compiled).
     reloaded = registry.load_estimator("census")
+    print(f"reloaded estimator is compiled: {reloaded.compiled} "
+          f"({reloaded.compile_options})")
     held_out = make_random_workload(table, num_queries=200, seed=99)
     original = trained.estimator.estimate_batch(held_out.queries)
     served = reloaded.estimate_batch(held_out.queries)
-    print(f"reload reproduces the original estimator bit-for-bit: "
-          f"{bool(np.array_equal(original, served))}")
+    worst = float(np.max(np.abs(served - original) / np.maximum(original, 1.0)))
+    print(f"float32 plan matches the float64 tape within {worst:.2e} relative")
 
     # 4. Serve under load: replay the workload from 8 concurrent threads.
     reports = []
     modes = [
-        ("naive", ServingConfig(micro_batching=False, cache_capacity=0)),
-        ("micro-batched", ServingConfig(cache_capacity=0)),
-        ("batched+cache", ServingConfig()),
+        ("naive", ServingConfig(micro_batching=False, cache_capacity=0,
+                                compiled=False)),
+        ("micro-batched", ServingConfig(cache_capacity=0, compiled=False)),
+        ("batched+compiled", ServingConfig(cache_capacity=0,
+                                           inference_dtype="float32")),
+        ("compiled+cache", ServingConfig(inference_dtype="float32")),
     ]
     for mode, config in modes:
         with EstimationService.from_registry(registry, "census",
@@ -63,7 +74,8 @@ def main() -> None:
     print(format_serving_table(reports, title="serving throughput (8 threads)"))
     print(f"\nmicro-batching speedup over naive: "
           f"{reports[1].qps / reports[0].qps:.2f}x; "
-          f"with cache: {reports[2].qps / reports[0].qps:.2f}x")
+          f"compiled: {reports[2].qps / reports[0].qps:.2f}x; "
+          f"with cache: {reports[3].qps / reports[0].qps:.2f}x")
 
 
 if __name__ == "__main__":

@@ -11,6 +11,7 @@ Public entry points:
 * :class:`CardinalityEstimator` — the interface shared with all baselines.
 """
 
+from .compiled import CompiledDuetModel
 from .config import DuetConfig, MPSNConfig, ServingConfig, dmv_config, small_table_config
 from .disjunction import conjoin, estimate_disjunction
 from .encoding import ColumnPredicateEncoder, QueryCodec, binary_width, resolve_value_strategy
@@ -37,6 +38,7 @@ __all__ = [
     "TrainingHistory",
     "DuetEstimator",
     "EstimationBreakdown",
+    "CompiledDuetModel",
     "VirtualTableSampler",
     "VirtualTupleBatch",
     "PredicateGuidance",

@@ -113,6 +113,22 @@ class ServingConfig:
         Number of most-recent request latencies retained for the p50/p90/p99
         statistics; older samples are discarded so a long-running service
         reports a moving window rather than its full history.
+    compiled:
+        When true (the default), the service lowers the estimator's model
+        into a grad-free :class:`~repro.nn.ForwardPlan` (masks folded, fused
+        masked selectivity, preallocated buffers reused across micro-batches)
+        and runs every forward pass through it.  The estimator object itself
+        is left untouched, so its tape path remains available as the
+        equivalence oracle.  Estimators without a compiled form fall back to
+        their ordinary batched path.
+    inference_dtype:
+        Arithmetic precision of the compiled serving plan: ``"float64"``
+        (matches the tape path to ~1e-15 relative) or ``"float32"`` (half
+        the memory traffic; agrees to ~1e-5 relative — far below the
+        model's own estimation error).  ``None`` (the default) defers to
+        the estimator's own compile options — e.g. the dtype persisted in
+        the model registry — falling back to ``"float64"`` when the
+        estimator carries none.
     """
 
     micro_batching: bool = True
@@ -120,6 +136,8 @@ class ServingConfig:
     max_wait_ms: float = 2.0
     cache_capacity: int = 8192
     latency_window: int = 65536
+    compiled: bool = True
+    inference_dtype: str | None = None
 
     def __post_init__(self) -> None:
         if self.max_batch_size <= 0:
@@ -130,6 +148,9 @@ class ServingConfig:
             raise ValueError("cache_capacity must be non-negative")
         if self.latency_window <= 0:
             raise ValueError("latency_window must be positive")
+        if self.inference_dtype not in (None, "float32", "float64"):
+            raise ValueError("inference_dtype must be 'float32', 'float64', "
+                             "or None (defer to the estimator's options)")
 
 
 def dmv_config(**overrides) -> DuetConfig:

@@ -47,6 +47,22 @@ _OP_EQ = Operator.EQ.index
 _OP_GE = Operator.GE.index
 _OP_LE = Operator.LE.index
 
+#: operator -> stable index, as a dict (Operator.index is a linear scan)
+_OP_INDEX = {op: op.index for op in Operator}
+_KIND_EQ = Operator.EQ.index
+_KIND_GT = Operator.GT.index
+_KIND_LT = Operator.LT.index
+_KIND_GE = Operator.GE.index
+_KIND_LE = Operator.LE.index
+
+
+def _run_starts(sorted_values: np.ndarray) -> np.ndarray:
+    """Boolean array marking the first element of each run of equal values."""
+    starts = np.empty(sorted_values.size, dtype=bool)
+    starts[0] = True
+    np.not_equal(sorted_values[1:], sorted_values[:-1], out=starts[1:])
+    return starts
+
 
 def binary_width(num_distinct: int) -> int:
     """Number of bits of the binary code encoding for a domain of ``num_distinct``."""
@@ -142,6 +158,15 @@ class QueryCodec:
             ColumnPredicateEncoder(index, column.num_distinct, config)
             for index, column in enumerate(table.columns)
         ]
+        self._ndv = np.array([column.num_distinct for column in table.columns],
+                             dtype=np.int64)
+        #: global code axis: column i owns codes [offset[i], offset[i+1])
+        self._mask_offsets = np.concatenate([[0], np.cumsum(self._ndv)])
+        self._global_codes = np.arange(int(self._mask_offsets[-1]))
+        #: per-column literal -> (left, right) searchsorted cache; serving
+        #: traffic repeats literals heavily, and a dict hit is ~20x cheaper
+        #: than even a vectorised searchsorted share
+        self._interval_cache: list[dict] = [{} for _ in table.columns]
 
     # ------------------------------------------------------------------
     def canonicalize(self, predicate: Predicate) -> CanonicalPredicate | None:
@@ -190,6 +215,187 @@ class QueryCodec:
         return grouped
 
     # ------------------------------------------------------------------
+    def translate_batch(self, queries: list[Query], enforce_slots: bool = True,
+                        with_masks: bool = True
+                        ) -> tuple[np.ndarray, np.ndarray, list[np.ndarray | None]]:
+        """One-pass batched translation: ``(values, ops, masks)``.
+
+        The serving hot path: every predicate's code interval is computed
+        exactly once (per-column *vectorised* ``searchsorted`` over all
+        literals in the batch instead of two scalar calls per predicate) and
+        both the canonical code arrays and the zero-out masks are derived
+        from the same intervals.  Semantics match :meth:`canonicalize` /
+        :meth:`zero_out_masks` element for element.
+
+        ``enforce_slots=False`` silently drops canonical predicates beyond
+        the slot budget instead of raising — the zero-out masks are always
+        defined even for queries the code arrays cannot represent.
+        ``with_masks=False`` skips mask construction entirely (the returned
+        mask list is all-``None``) for callers that only need code arrays.
+        """
+        batch = len(queries)
+        num_columns = self.table.num_columns
+        shape = (batch, num_columns, self.max_predicates)
+        values = np.full(shape, -1, dtype=np.int64)
+        ops = np.full(shape, -1, dtype=np.int64)
+        masks: list[np.ndarray | None] = [None] * num_columns
+
+        # Flatten every predicate of the batch into parallel lists (queries
+        # outer, predicates inner — the order slot assignment relies on).
+        query_rows: list[int] = []
+        column_rows: list[int] = []
+        kinds: list[int] = []
+        literals: list = []
+        column_index_of = self.table.column_index
+        for query_index, query in enumerate(queries):
+            for predicate in query.predicates:
+                query_rows.append(query_index)
+                column_rows.append(column_index_of(predicate.column))
+                kinds.append(_OP_INDEX[predicate.operator])
+                literals.append(predicate.value)
+        if not query_rows:
+            return values, ops, masks
+        qi = np.asarray(query_rows, dtype=np.int64)
+        ci = np.asarray(column_rows, dtype=np.int64)
+        kind = np.asarray(kinds, dtype=np.int64)
+        count = kind.size
+
+        # Literal -> [left, right) code positions, one vectorised
+        # searchsorted per constrained column (stable sort keeps each
+        # column's predicates in query order, qi ascending inside a group).
+        left = np.empty(count, dtype=np.int64)
+        right = np.empty(count, dtype=np.int64)
+        by_column = np.argsort(ci, kind="stable")
+        ci_sorted = ci[by_column]
+        group_starts = np.flatnonzero(_run_starts(ci_sorted))
+        group_ends = np.append(group_starts[1:], count)
+        for start, end in zip(group_starts, group_ends):
+            column_index = int(ci_sorted[start])
+            cache = self._interval_cache[column_index]
+            missing = []
+            for i in by_column[start:end]:
+                cached = cache.get(literals[i])
+                if cached is None:
+                    missing.append(i)
+                else:
+                    left[i], right[i] = cached
+            if not missing:
+                continue
+            column = self.table.column(column_index)
+            try:
+                chunk = np.asarray([literals[i] for i in missing])
+                left[missing] = np.searchsorted(column.distinct_values, chunk,
+                                                side="left")
+                right[missing] = np.searchsorted(column.distinct_values, chunk,
+                                                 side="right")
+            except (TypeError, ValueError):  # ragged / incomparable literals
+                for i in missing:
+                    left[i] = column.searchsorted(literals[i], side="left")
+                    right[i] = column.searchsorted(literals[i], side="right")
+            if len(cache) > 262144:  # bound a long-lived service's footprint
+                cache.clear()
+            for i in missing:
+                cache[literals[i]] = (left[i], right[i])
+
+        # Inclusive code intervals — vectorised Predicate.code_interval over
+        # the whole batch at once.
+        last = self._ndv[ci] - 1
+        is_eq = kind == _KIND_EQ
+        low = np.zeros(count, dtype=np.int64)
+        high = last.copy()
+        np.copyto(low, left, where=is_eq | (kind == _KIND_GE))
+        np.copyto(low, right, where=kind == _KIND_GT)
+        np.copyto(high, right - 1, where=is_eq | (kind == _KIND_LE))
+        np.copyto(high, left - 1, where=kind == _KIND_LT)
+        eq_missing = is_eq & (left == right)  # equality on an absent value
+        low[eq_missing] = 1
+        high[eq_missing] = 0
+        #: predicates whose interval covers the whole domain constrain nothing
+        whole_domain = (low == 0) & (high == last)
+
+        if with_masks:
+            self._build_masks(batch, qi, ci, low, high, whole_domain, masks)
+
+        # Canonical (operator, code) pairs — vectorised `canonicalize`.
+        # Later assignments override earlier ones, so the priority order is
+        # the reverse of the scalar if-chain: GE default, then low == 0,
+        # low == high, whole-domain (dropped), unsatisfiable.
+        canonical_op = np.full(count, _OP_GE, dtype=np.int64)
+        canonical_code = low.copy()
+        is_low_zero = low == 0
+        np.copyto(canonical_op, _OP_LE, where=is_low_zero)
+        np.copyto(canonical_code, high, where=is_low_zero)
+        is_point = low == high
+        np.copyto(canonical_op, _OP_EQ, where=is_point)
+        np.copyto(canonical_code, low, where=is_point)
+        np.copyto(canonical_op, -1, where=whole_domain)
+        unsat = low > high
+        np.copyto(canonical_op, _OP_EQ, where=unsat)
+        np.copyto(canonical_code, np.clip(low, 0, last), where=unsat)
+
+        # Slot assignment: occurrence index within each (query, column) pair
+        # among kept predicates, in predicate order (stable sort preserves it).
+        kept = np.flatnonzero(canonical_op >= 0)
+        if not kept.size:
+            return values, ops, masks
+        order = kept[np.argsort(qi[kept] * num_columns + ci[kept], kind="stable")]
+        rows, cols = qi[order], ci[order]
+        same = ~_run_starts(rows * num_columns + cols)
+        positions = np.arange(order.size)
+        group_first = positions[~same]
+        group_sizes = np.diff(np.append(group_first, order.size))
+        slots = positions - np.repeat(group_first, group_sizes)
+        if slots.max(initial=0) >= self.max_predicates:
+            if enforce_slots:
+                overflow = int(np.argmax(slots))
+                raise ValueError(
+                    f"query has {int(group_sizes.max())} predicates on column "
+                    f"{self.table.column(int(cols[overflow])).name!r} but the "
+                    f"model was configured for at most {self.max_predicates}; "
+                    f"enable multi_predicate / raise max_predicates_per_column")
+            within = slots < self.max_predicates
+            order, rows, cols, slots = (order[within], rows[within],
+                                        cols[within], slots[within])
+        values[rows, cols, slots] = canonical_code[order]
+        ops[rows, cols, slots] = canonical_op[order]
+        return values, ops, masks
+
+    def _build_masks(self, batch: int, qi: np.ndarray, ci: np.ndarray,
+                     low: np.ndarray, high: np.ndarray,
+                     whole_domain: np.ndarray,
+                     masks: list[np.ndarray | None]) -> None:
+        """Zero-out masks: one (batch, sum NDV) matrix over the global code
+        axis, ANDed per query with a single reduceat — constrained columns
+        become views into it, unconstrained columns stay ``None``.  A
+        predicate's row is its interval inside its own column's segment and
+        all-ones everywhere else, so predicates on different columns combine
+        without touching each other's segments.
+        """
+        offsets = self._mask_offsets
+        codes = self._global_codes
+        block_lo = offsets[ci]
+        satisfied = ((codes >= (low + block_lo)[:, None])
+                     & (codes <= (high + block_lo)[:, None])
+                     | (codes < block_lo[:, None])
+                     | (codes >= offsets[ci + 1][:, None]))
+        query_first = _run_starts(qi)  # qi is non-decreasing by construction
+        if query_first.all():
+            reduced = satisfied
+            constrained_rows = qi
+        else:
+            starts = np.flatnonzero(query_first)
+            reduced = np.logical_and.reduceat(satisfied, starts, axis=0)
+            constrained_rows = qi[starts]
+        global_mask = np.ones((batch, codes.size), dtype=np.float64)
+        global_mask[constrained_rows] = reduced
+        # Whole-domain predicates contribute all-ones rows; a column whose
+        # only predicates are whole-domain is NOT constrained — it keeps the
+        # ``None`` sentinel so the selectivity paths skip it exactly.
+        for column_index in np.unique(ci[~whole_domain]):
+            begin, stop = offsets[column_index], offsets[column_index + 1]
+            masks[column_index] = global_mask[:, begin:stop]
+
+    # ------------------------------------------------------------------
     def queries_to_code_arrays(self, queries: list[Query]
                                ) -> tuple[np.ndarray, np.ndarray]:
         """Batch of queries -> ``(values, ops)`` arrays.
@@ -197,29 +403,19 @@ class QueryCodec:
         Both arrays have shape ``(batch, num_columns, max_predicates)`` and
         use ``-1`` for "no predicate in this slot".
         """
-        batch = len(queries)
-        shape = (batch, self.table.num_columns, self.max_predicates)
-        values = np.full(shape, -1, dtype=np.int64)
-        ops = np.full(shape, -1, dtype=np.int64)
-        for query_index, query in enumerate(queries):
-            for column_index, predicates in self.canonical_predicates(query).items():
-                for slot, canonical in enumerate(predicates):
-                    values[query_index, column_index, slot] = canonical.code
-                    ops[query_index, column_index, slot] = canonical.op_index
+        values, ops, _ = self.translate_batch(queries, with_masks=False)
         return values, ops
 
-    def zero_out_masks(self, queries: list[Query]) -> list[np.ndarray]:
+    def zero_out_masks(self, queries: list[Query]) -> list[np.ndarray | None]:
         """Per-column valid-value masks ``Pred_i(R_i, v_i)`` for a query batch.
 
-        Element ``[column][query, code]`` is 1 when the code satisfies every
-        predicate the query places on the column (1 everywhere when the
-        column is unconstrained, so unconstrained factors equal 1).
+        ``masks[column]`` is ``None`` when no query in the batch constrains
+        the column — the sentinel for "factor is exactly 1", which lets both
+        the tape and the compiled selectivity paths skip the column without
+        materialising a dense all-ones ``(batch, NDV)`` array or scanning
+        one.  For constrained columns, element ``[query, code]`` is 1 when
+        the code satisfies every predicate the query places on the column
+        (rows of queries that leave the column unconstrained stay all-ones).
         """
-        masks = [np.ones((len(queries), column.num_distinct), dtype=np.float64)
-                 for column in self.table.columns]
-        for query_index, query in enumerate(queries):
-            for predicate in query.predicates:
-                column_index = self.table.column_index(predicate.column)
-                column = self.table.column(column_index)
-                masks[column_index][query_index] *= predicate.valid_value_mask(column)
+        _, _, masks = self.translate_batch(queries, enforce_slots=False)
         return masks

@@ -1,14 +1,25 @@
-"""Algorithm 3: sampling-free cardinality estimation with a single forward pass."""
+"""Algorithm 3: sampling-free cardinality estimation with a single forward pass.
+
+Two execution paths share the same query translation and zero-out masks:
+
+* the **tape path** runs through the autograd :class:`~repro.nn.Tensor`
+  graph — differentiable, used for training and as the equivalence oracle;
+* the **compiled path** (:meth:`DuetEstimator.compile`) runs a lowered
+  :class:`~repro.core.compiled.CompiledDuetModel` — masks folded, buffers
+  reused, fused masked selectivity, optional ``float32`` — and is the one
+  the serving layer drives.
+"""
 
 from __future__ import annotations
 
 import time
-from typing import Sequence
+from typing import Callable, Sequence
 
 import numpy as np
 
-from ..nn import no_grad
+from ..nn import PlanOptions, no_grad
 from ..workload.query import Query
+from .compiled import CompiledDuetModel
 from .interface import CardinalityEstimator
 from .model import DuetModel
 
@@ -32,7 +43,68 @@ class DuetEstimator(CardinalityEstimator):
     def __init__(self, model: DuetModel) -> None:
         super().__init__(model.table)
         self.model = model
+        self._compiled: CompiledDuetModel | None = None
+        self._use_compiled = False
 
+    # ------------------------------------------------------------------
+    # Compilation
+    # ------------------------------------------------------------------
+    def compile(self, options: PlanOptions | None = None) -> "DuetEstimator":
+        """Lower the model into a grad-free plan and make it the default path.
+
+        Weights are snapshotted at compile time — call ``compile()`` again
+        after further training to refresh the plan.  Returns ``self`` so
+        ``DuetEstimator(model).compile()`` reads naturally.
+        """
+        self._compiled = CompiledDuetModel(self.model, options)
+        self._use_compiled = True
+        return self
+
+    @property
+    def compiled(self) -> bool:
+        """Whether estimates run through the compiled plan by default."""
+        return self._use_compiled and self._compiled is not None
+
+    @property
+    def compile_options(self) -> PlanOptions | None:
+        """Options of the active compiled plan (``None`` when uncompiled).
+
+        Guarded by :attr:`compiled`, not just plan presence: an explicit
+        ``estimate_batch_with_breakdown(..., compiled=True)`` caches a plan
+        without flipping the default path, and must not make this estimator
+        look compiled to callers that persist or branch on the options.
+        """
+        return self._compiled.options if self.compiled else None
+
+    def timed_batch_runner(self, options: PlanOptions | None = None
+                           ) -> Callable[[Sequence[Query]],
+                                         tuple[np.ndarray, EstimationBreakdown]]:
+        """A compiled ``queries -> (estimates, breakdown)`` runner.
+
+        Reuses this estimator's existing plan when its options match (plans
+        serialise on their own lock, so sharing is safe); otherwise builds a
+        private plan — either way the estimator's own default path is not
+        flipped, so the tape stays available as the equivalence oracle.
+        """
+        options = options or PlanOptions()
+        if self._compiled is not None and self._compiled.options == options:
+            compiled = self._compiled
+        else:
+            compiled = CompiledDuetModel(self.model, options)
+        return lambda queries: self._run_batch(list(queries), compiled)
+
+    def tape_batch_runner(self) -> Callable[[Sequence[Query]],
+                                            tuple[np.ndarray, EstimationBreakdown]]:
+        """A ``queries -> (estimates, breakdown)`` runner pinned to the tape.
+
+        For callers (``ServingConfig(compiled=False)``) that need the
+        autograd path regardless of how this estimator was compiled — e.g.
+        bit-exact reproducibility with an uncompiled reference.
+        """
+        return lambda queries: self._run_batch(list(queries), None)
+
+    # ------------------------------------------------------------------
+    # Estimation
     # ------------------------------------------------------------------
     def estimate(self, query: Query) -> float:
         return float(self.estimate_batch([query])[0])
@@ -56,20 +128,44 @@ class DuetEstimator(CardinalityEstimator):
         return estimates, breakdown
 
     def estimate_batch_with_breakdown(
-        self, queries: Sequence[Query]
+        self, queries: Sequence[Query], compiled: bool | None = None
     ) -> tuple[np.ndarray, EstimationBreakdown]:
-        """Estimate a batch and report the encoding/inference time split."""
+        """Estimate a batch and report the encoding/inference time split.
+
+        ``compiled`` forces a path: ``True`` uses the lowered plan (compiling
+        with default options on first use), ``False`` the tape path, ``None``
+        (default) whatever :meth:`compile` selected.
+        """
         queries = list(queries)
-        self.model.eval()
-        with no_grad():
-            start = time.perf_counter()
-            values, ops = self.model.codec.queries_to_code_arrays(queries)
-            masks = self.model.codec.zero_out_masks(queries)
-            encoded = self.model.encode_batch(values, ops)
-            after_encoding = time.perf_counter()
-            outputs = self.model.made(encoded)
-            selectivity = self.model.selectivity_from_outputs(outputs, masks).numpy()
-            after_inference = time.perf_counter()
+        use_compiled = self.compiled if compiled is None else compiled
+        if use_compiled and self._compiled is None:
+            self._compiled = CompiledDuetModel(self.model)
+        plan = self._compiled if use_compiled else None
+        return self._run_batch(queries, plan)
+
+    def _run_batch(self, queries: list[Query],
+                   compiled: CompiledDuetModel | None
+                   ) -> tuple[np.ndarray, EstimationBreakdown]:
+        if not queries:
+            return (np.zeros(0, dtype=np.float64),
+                    EstimationBreakdown(encoding=0.0, inference=0.0))
+        start = time.perf_counter()
+        values, ops, masks = self.model.codec.translate_batch(queries)
+        if compiled is not None:
+            with compiled.lock:
+                encoded = compiled.encode(values, ops)
+                after_encoding = time.perf_counter()
+                logits = compiled.logits(encoded)
+                selectivity = compiled.selectivity_from_logits(logits, masks)
+                after_inference = time.perf_counter()
+        else:
+            self.model.eval()
+            with no_grad():
+                encoded = self.model.encode_batch(values, ops)
+                after_encoding = time.perf_counter()
+                outputs = self.model.made(encoded)
+                selectivity = self.model.selectivity_from_outputs(outputs, masks).numpy()
+                after_inference = time.perf_counter()
         selectivity = np.clip(selectivity, 0.0, 1.0)
         estimates = selectivity * self.table.num_rows
         breakdown = EstimationBreakdown(

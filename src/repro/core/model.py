@@ -126,20 +126,22 @@ class DuetModel(nn.Module):
 
     # ------------------------------------------------------------------
     def selectivity_from_outputs(self, outputs: Tensor,
-                                 masks: list[np.ndarray]) -> Tensor:
+                                 masks: list[np.ndarray | None]) -> Tensor:
         """Algorithm 3, lines 3-4: zero-out and multiply the per-column masses.
 
         ``masks[i]`` is the ``(batch, NDV_i)`` valid-value mask of column
-        ``i``; unconstrained columns use an all-ones mask so their factor is
-        exactly 1.  The result is differentiable, which is what enables
-        hybrid training.
+        ``i`` or ``None`` when the column is unconstrained across the batch
+        (the :meth:`QueryCodec.zero_out_masks` sentinel) — its factor is
+        exactly 1 and the column's softmax is never materialised.  The
+        result is differentiable, which is what enables hybrid training.
         """
         selectivity: Tensor | None = None
         for column_index in range(self.num_columns):
-            distribution = self.column_distribution(outputs, column_index)
-            mask = np.asarray(masks[column_index], dtype=np.float64)
-            if np.all(mask == 1.0):
+            mask = masks[column_index]
+            if mask is None:
                 continue  # unconstrained column: factor is exactly 1
+            distribution = self.column_distribution(outputs, column_index)
+            mask = np.asarray(mask, dtype=np.float64)
             factor = (distribution * Tensor(mask)).sum(axis=-1)
             selectivity = factor if selectivity is None else selectivity * factor
         if selectivity is None:
@@ -148,13 +150,16 @@ class DuetModel(nn.Module):
         return selectivity
 
     # ------------------------------------------------------------------
-    def merged_mpsn_inference(self) -> MergedMLPInference:
+    def merged_mpsn_inference(self, options: "nn.PlanOptions | None" = None
+                              ) -> MergedMLPInference:
         """Build the block-diagonal merged-MLP accelerator (§IV-F).
 
-        Only valid when the model uses MLP MPSNs on every column.
+        Only valid when the model uses MLP MPSNs on every column.  The
+        accelerator is itself a lowered :class:`~repro.nn.ForwardPlan`;
+        ``options`` selects its dtype (shared with the compiled fast path).
         """
         if not self.config.multi_predicate:
             raise RuntimeError("the model was built without MPSNs")
         if not all(isinstance(mpsn, MLPMPSN) for mpsn in self._mpsns):
             raise RuntimeError("merged acceleration requires the MLP MPSN variant")
-        return MergedMLPInference(self._mpsns)
+        return MergedMLPInference(self._mpsns, options)

@@ -137,13 +137,16 @@ class MergedMLPInference:
     """Inference-time acceleration merging all per-column MLP MPSNs.
 
     The per-column MLPs (same depth, same activation) are merged layer by
-    layer into block-diagonal weight matrices; a single forward pass then
-    embeds the predicates of every column at once.  This reproduces the
-    paper's "Parallel Acceleration for MLP MPSN" and is mathematically
-    identical to running the per-column networks separately.
+    layer into block-diagonal weight matrices and lowered into a single
+    :class:`~repro.nn.inference.ForwardPlan`, so one fused pass (with
+    reusable ``out=`` buffers) embeds the predicates of every column at
+    once.  This reproduces the paper's "Parallel Acceleration for MLP MPSN"
+    and is mathematically identical to running the per-column networks
+    separately.
     """
 
-    def __init__(self, mpsns: list[MLPMPSN]) -> None:
+    def __init__(self, mpsns: list[MLPMPSN],
+                 options: "nn.PlanOptions | None" = None) -> None:
         if not mpsns:
             raise ValueError("at least one MPSN is required")
         if not all(isinstance(mpsn, MLPMPSN) for mpsn in mpsns):
@@ -152,31 +155,27 @@ class MergedMLPInference:
         if len(depths) != 1:
             raise ValueError("all MLP MPSNs must share the same number of layers")
         self.mpsns = mpsns
+        self.options = options or nn.PlanOptions()
         self.input_widths = [mpsn.input_width for mpsn in mpsns]
         self.output_widths = [mpsn.output_width for mpsn in mpsns]
-        self._layers = self._merge_layers()
+        self.plan = nn.ForwardPlan(self._merge_stage_specs(), self.options)
 
-    def _merge_layers(self) -> list[tuple[np.ndarray, np.ndarray, bool]]:
-        """Merge each depth level into ``(block-diag weight, concat bias, relu?)``."""
-        merged: list[tuple[np.ndarray, np.ndarray, bool]] = []
-        layer_lists = [list(mpsn.network) for mpsn in self.mpsns]
-        for level in range(len(layer_lists[0])):
-            level_layers = [layers[level] for layers in layer_lists]
-            if isinstance(level_layers[0], nn.ReLU):
-                continue
-            weights = [layer.weight.numpy() for layer in level_layers]
-            biases = [layer.bias.numpy() for layer in level_layers]
-            total_in = sum(weight.shape[0] for weight in weights)
-            total_out = sum(weight.shape[1] for weight in weights)
-            block = np.zeros((total_in, total_out))
+    def _merge_stage_specs(self) -> list["nn.StageSpec"]:
+        """Merge each depth level into one block-diagonal fused stage."""
+        per_column_specs = [mpsn.network.export_stage_specs() for mpsn in self.mpsns]
+        merged: list[nn.StageSpec] = []
+        for level_specs in zip(*per_column_specs):
+            weights = [spec.weight for spec in level_specs]
+            biases = [spec.bias for spec in level_specs]
+            block = np.zeros((sum(w.shape[0] for w in weights),
+                              sum(w.shape[1] for w in weights)))
             row = column = 0
             for weight in weights:
                 block[row:row + weight.shape[0], column:column + weight.shape[1]] = weight
                 row += weight.shape[0]
                 column += weight.shape[1]
-            bias = np.concatenate(biases)
-            is_last = level == len(layer_lists[0]) - 1
-            merged.append((block, bias, not is_last))
+            merged.append(nn.StageSpec(block, np.concatenate(biases),
+                                       activation=level_specs[0].activation))
         return merged
 
     def forward(self, per_column_encodings: list[np.ndarray],
@@ -191,17 +190,13 @@ class MergedMLPInference:
         stacked = np.concatenate(
             [np.asarray(encoding, dtype=np.float64) for encoding in per_column_encodings],
             axis=-1)
-        hidden = stacked.reshape(batch * slots, -1)
-        for weight, bias, apply_relu in self._layers:
-            hidden = hidden @ weight + bias
-            if apply_relu:
-                hidden = np.maximum(hidden, 0.0)
+        hidden = self.plan.run(stacked.reshape(batch * slots, -1))
         hidden = hidden.reshape(batch, slots, -1)
         outputs: list[np.ndarray] = []
         offset = 0
         for column_index, width in enumerate(self.output_widths):
             presence = np.asarray(per_column_presence[column_index], dtype=np.float64)
-            block = hidden[:, :, offset:offset + width] * presence[..., None]
-            outputs.append(block.sum(axis=1))
+            block = hidden[:, :, offset:offset + width]
+            outputs.append(np.einsum("bsw,bs->bw", block, presence))
             offset += width
         return outputs

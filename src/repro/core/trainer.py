@@ -105,8 +105,7 @@ class DuetTrainer:
         if self.hybrid:
             # Pre-translate the training workload once; batches are sliced per
             # step, which is much cheaper than re-encoding queries every step.
-            values, ops = self.model.codec.queries_to_code_arrays(self.workload.queries)
-            masks = self.model.codec.zero_out_masks(self.workload.queries)
+            values, ops, masks = self.model.codec.translate_batch(self.workload.queries)
             self._query_arrays = (values, ops, masks,
                                   np.asarray(self.workload.cardinalities, dtype=np.float64))
 
@@ -126,7 +125,8 @@ class DuetTrainer:
         values, ops, masks, cards = self._query_arrays
         count = min(self.config.query_batch_size, values.shape[0])
         picked = self._rng.choice(values.shape[0], size=count, replace=False)
-        picked_masks = [mask[picked] for mask in masks]
+        # None marks a column no query constrains (see zero_out_masks).
+        picked_masks = [mask[picked] if mask is not None else None for mask in masks]
         return values[picked], ops[picked], picked_masks, cards[picked]
 
     # ------------------------------------------------------------------
@@ -207,8 +207,7 @@ class DuetTrainer:
         """
         if not workload.is_labeled:
             workload.label(self.table)
-        values, ops = self.model.codec.queries_to_code_arrays(workload.queries)
-        masks = self.model.codec.zero_out_masks(workload.queries)
+        values, ops, masks = self.model.codec.translate_batch(workload.queries)
         cards = np.asarray(workload.cardinalities, dtype=np.float64)
         losses: list[float] = []
         self.model.train()
@@ -217,7 +216,7 @@ class DuetTrainer:
             picked = self._rng.choice(values.shape[0], size=count, replace=False)
             outputs = self.model.forward(values[picked], ops[picked])
             selectivity = self.model.selectivity_from_outputs(
-                outputs, [mask[picked] for mask in masks])
+                outputs, [mask[picked] if mask is not None else None for mask in masks])
             estimates = selectivity * float(self.table.num_rows)
             loss = F.mapped_qerror_loss(estimates, cards[picked]).mean()
             self.optimizer.zero_grad()

@@ -2,6 +2,7 @@
 
 from .experiments import (
     SmokeScale,
+    compiled_inference_cost,
     ablation_expand_coefficient,
     ablation_hybrid_training,
     ablation_loss_mapping,
@@ -55,6 +56,7 @@ __all__ = [
     "table1_mpsn_comparison",
     "figure6_scalability",
     "figure7_estimation_cost",
+    "compiled_inference_cost",
     "table2_accuracy",
     "convergence_study",
     "table3_training_throughput",

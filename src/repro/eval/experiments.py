@@ -10,6 +10,7 @@ paper-vs-measured comparison for each of them.
 
 from __future__ import annotations
 
+import gc
 import time
 from dataclasses import dataclass, field
 
@@ -45,6 +46,7 @@ __all__ = [
     "table1_mpsn_comparison",
     "figure6_scalability",
     "figure7_estimation_cost",
+    "compiled_inference_cost",
     "table2_accuracy",
     "convergence_study",
     "table3_training_throughput",
@@ -375,6 +377,142 @@ def figure7_estimation_cost(dataset: str = "census", scale: SmokeScale | None = 
     costs = {name: evaluate_estimator(estimator, test_queries, table).per_query_ms
              for name, estimator in estimators.items()}
     return EstimationCostResult(dataset=dataset, per_query_ms=costs)
+
+
+# ----------------------------------------------------------------------
+# Compiled inference — tape vs lowered-plan estimation cost (Fig. 7 style)
+# ----------------------------------------------------------------------
+
+@dataclass
+class CompiledInferenceResult:
+    """Tape vs compiled batch-estimation cost with the Fig.-7 phase split.
+
+    ``paths`` maps an execution-path name (``tape``, ``compiled-float64``,
+    ``compiled-float32``) to its measured ``qps``, ``per_query_ms`` and the
+    encoding/inference phase split (milliseconds per micro-batch).
+    """
+
+    dataset: str
+    batch_size: int
+    num_queries: int
+    paths: dict[str, dict[str, float]]
+    max_rel_error_float64: float
+    max_rel_error_float32: float
+
+    def speedup(self, path: str = "compiled-float32") -> float:
+        return self.paths[path]["qps"] / self.paths["tape"]["qps"]
+
+    def render(self) -> str:
+        rows = [[name, metrics["qps"], metrics["per_query_ms"],
+                 metrics["encoding_ms"], metrics["inference_ms"],
+                 metrics["qps"] / self.paths["tape"]["qps"]]
+                for name, metrics in self.paths.items()]
+        return format_table(
+            ["path", "QPS", "per-query ms", "encoding ms/batch",
+             "inference ms/batch", "speedup"],
+            rows,
+            title=(f"Compiled inference ({self.dataset}, micro-batch "
+                   f"{self.batch_size}): tape vs lowered plans"))
+
+    def to_metrics(self) -> dict[str, float]:
+        """Flat metric dict for the benchmark snapshot harness."""
+        metrics: dict[str, float] = {
+            "speedup_float64": self.speedup("compiled-float64"),
+            "speedup_float32": self.speedup("compiled-float32"),
+            "max_rel_error_float64": self.max_rel_error_float64,
+            "max_rel_error_float32": self.max_rel_error_float32,
+        }
+        for name, path_metrics in self.paths.items():
+            key = name.replace("-", "_")
+            metrics[f"{key}_qps"] = path_metrics["qps"]
+            metrics[f"{key}_per_query_ms"] = path_metrics["per_query_ms"]
+        return metrics
+
+
+def compiled_inference_cost(dataset: str = "dmv", batch_size: int = 8,
+                            num_queries: int = 1024, repeats: int = 5,
+                            dataset_scale: float = 0.004,
+                            config: DuetConfig | None = None,
+                            ) -> CompiledInferenceResult:
+    """Measure tape vs compiled batch-estimation throughput (Fig. 7 style).
+
+    Uses the paper's DMV setup by default — the high-NDV table and the
+    512-256-512-128-1024 architecture — replayed in serving-sized
+    micro-batches, the shape of traffic the micro-batcher produces under
+    concurrent load.  Weights are random: estimation cost does not depend
+    on training, and all three paths share the exact same parameters.
+    """
+    from ..core.config import dmv_config
+    from ..nn import PlanOptions
+
+    config = config or dmv_config(seed=0)
+    table = make_dataset(dataset, scale=dataset_scale)
+    workload = make_random_workload(table, num_queries=num_queries, seed=3)
+    chunks = [workload.queries[index:index + batch_size]
+              for index in range(0, num_queries, batch_size)]
+    model = DuetModel(table, config)
+    estimator = DuetEstimator(model)
+    estimator_float32 = DuetEstimator(model).compile(PlanOptions(dtype="float32"))
+
+    def sweep(runner_estimator, compiled):
+        encoding = inference = 0.0
+        estimates = []
+        started = time.perf_counter()
+        for chunk in chunks:
+            chunk_estimates, breakdown = (
+                runner_estimator.estimate_batch_with_breakdown(
+                    chunk, compiled=compiled))
+            encoding += breakdown["encoding"]
+            inference += breakdown["inference"]
+            estimates.append(chunk_estimates)
+        return time.perf_counter() - started, encoding, inference, estimates
+
+    paths = [("tape", estimator, False),
+             ("compiled-float64", estimator, True),
+             ("compiled-float32", estimator_float32, None)]
+    all_estimates: dict[str, np.ndarray] = {}
+    best: dict[str, tuple] = {}
+    for name, runner, compiled in paths:  # warm-up: buffers, caches, estimates
+        all_estimates[name] = np.concatenate(sweep(runner, compiled)[3])
+    # Pause the cyclic GC during the timed windows (the tape path builds
+    # large cyclic Tensor graphs, so collection frequency — a function of
+    # whatever else the process did before — would otherwise leak into the
+    # comparison), and *interleave* the paths round-robin so a transient
+    # host stall lands on every path rather than skewing one side; the
+    # per-path minimum over rounds then discards the disturbed sweeps.
+    gc_was_enabled = gc.isenabled()
+    gc.disable()
+    try:
+        for _ in range(repeats):
+            for name, runner, compiled in paths:
+                run = sweep(runner, compiled)
+                if name not in best or run[0] < best[name][0]:
+                    best[name] = run[:3]
+    finally:
+        if gc_was_enabled:
+            gc.enable()
+        gc.collect()
+
+    def metrics(name):
+        total, encoding, inference = best[name]
+        return {
+            "qps": num_queries / total,
+            "per_query_ms": 1e3 * total / num_queries,
+            "encoding_ms": 1e3 * encoding / len(chunks),
+            "inference_ms": 1e3 * inference / len(chunks),
+        }
+
+    tape_estimates = all_estimates["tape"]
+
+    def max_rel_error(name):
+        return float(np.max(np.abs(all_estimates[name] - tape_estimates)
+                            / np.maximum(np.abs(tape_estimates), 1.0)))
+
+    return CompiledInferenceResult(
+        dataset=dataset, batch_size=batch_size, num_queries=num_queries,
+        paths={name: metrics(name) for name, _, _ in paths},
+        max_rel_error_float64=max_rel_error("compiled-float64"),
+        max_rel_error_float32=max_rel_error("compiled-float32"))
 
 
 # ----------------------------------------------------------------------

@@ -5,7 +5,8 @@ reverse-mode autograd engine plus the layers, masked autoregressive
 networks, losses, and optimisers that the paper's models require.
 """
 
-from . import functional, init
+from . import functional, inference, init
+from .inference import ForwardPlan, PlanOptions, StageSpec, lower_module, masked_block_mass
 from .layers import (
     LSTM,
     Embedding,
@@ -29,7 +30,13 @@ __all__ = [
     "no_grad",
     "is_grad_enabled",
     "functional",
+    "inference",
     "init",
+    "ForwardPlan",
+    "PlanOptions",
+    "StageSpec",
+    "lower_module",
+    "masked_block_mass",
     "Module",
     "Linear",
     "MaskedLinear",

@@ -138,6 +138,21 @@ class Linear(Module):
             output = output + self.bias
         return output
 
+    # -- compiled-inference export --------------------------------------
+    def export_weights(self) -> tuple[np.ndarray, np.ndarray | None]:
+        """The effective ``(weight, bias)`` of this layer as raw arrays.
+
+        Subclasses with structural constraints (masks) fold them in here,
+        so compiled plans never re-apply them per forward.
+        """
+        return self.weight.data, None if self.bias is None else self.bias.data
+
+    def export_stage_specs(self) -> list:
+        from .inference import StageSpec
+
+        weight, bias = self.export_weights()
+        return [StageSpec(weight, bias)]
+
 
 class MaskedLinear(Linear):
     """Linear layer whose weight is elementwise-multiplied by a fixed mask.
@@ -166,6 +181,10 @@ class MaskedLinear(Linear):
             output = output + self.bias
         return output
 
+    def export_weights(self) -> tuple[np.ndarray, np.ndarray | None]:
+        """Weight with the autoregressive mask folded in once."""
+        return self.weight.data * self.mask, None if self.bias is None else self.bias.data
+
 
 class Embedding(Module):
     """Lookup table mapping integer codes to dense vectors."""
@@ -190,6 +209,8 @@ class Embedding(Module):
 class ReLU(Module):
     """Rectified linear unit."""
 
+    activation_name = "relu"
+
     def forward(self, inputs: Tensor) -> Tensor:
         return inputs.relu()
 
@@ -197,12 +218,16 @@ class ReLU(Module):
 class Tanh(Module):
     """Hyperbolic tangent activation."""
 
+    activation_name = "tanh"
+
     def forward(self, inputs: Tensor) -> Tensor:
         return inputs.tanh()
 
 
 class Sigmoid(Module):
     """Logistic sigmoid activation."""
+
+    activation_name = "sigmoid"
 
     def forward(self, inputs: Tensor) -> Tensor:
         return inputs.sigmoid()
@@ -236,6 +261,29 @@ class Sequential(Module):
         for layer in self._layers:
             output = layer(output)
         return output
+
+    def export_stage_specs(self) -> list:
+        """Fuse ``Linear -> activation`` pairs into compiled stage specs."""
+        from .inference import StageSpec
+
+        specs: list[StageSpec] = []
+        for layer in self._layers:
+            if isinstance(layer, Identity):
+                continue
+            activation = getattr(layer, "activation_name", None)
+            if activation is not None:
+                if not specs or specs[-1].activation is not None:
+                    raise TypeError("activation without a preceding linear stage "
+                                    "cannot be lowered")
+                specs[-1].activation = activation
+                continue
+            export = getattr(layer, "export_weights", None)
+            if export is None:
+                raise TypeError(f"{type(layer).__name__} cannot be lowered into "
+                                f"a fused stage")
+            weight, bias = export()
+            specs.append(StageSpec(weight, bias))
+        return specs
 
 
 class LSTMCell(Module):

@@ -165,6 +165,36 @@ class MADE(Module):
         return self.output_layer(hidden)
 
     # ------------------------------------------------------------------
+    def export_stage_specs(self) -> list:
+        """Lower the network into compiled stage specs (masks folded once).
+
+        The spec list mirrors :meth:`forward` exactly: every hidden layer
+        becomes a fused linear+ReLU stage whose weight already carries the
+        autoregressive mask, ResMADE skip connections become ``residual_from``
+        links, and the output layer is the final linear stage.
+        """
+        from .inference import StageSpec
+
+        specs: list[StageSpec] = []
+        for layer_index, layer in enumerate(self._layers):
+            weight, bias = layer.export_weights()
+            residual_from = None
+            if (self.residual and layer_index > 0
+                    and self.hidden_sizes[layer_index - 1] == self.hidden_sizes[layer_index]
+                    and np.array_equal(self._hidden_degrees[layer_index - 1],
+                                       self._hidden_degrees[layer_index])):
+                residual_from = layer_index - 1
+            specs.append(StageSpec(weight, bias, activation="relu",
+                                   residual_from=residual_from))
+        weight, bias = self.output_layer.export_weights()
+        specs.append(StageSpec(weight, bias))
+        return specs
+
+    def output_block_slices(self) -> list[tuple[int, int]]:
+        """Per-column ``(start, end)`` logit slices, for the fused zero-out."""
+        return [(block.output_start, block.output_end) for block in self.blocks]
+
+    # ------------------------------------------------------------------
     def column_logits(self, outputs: Tensor, column_index: int) -> Tensor:
         """Slice the logits block of ``column_index`` out of the full output."""
         block = self.blocks[column_index]

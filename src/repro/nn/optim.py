@@ -1,4 +1,12 @@
-"""Gradient-descent optimisers (SGD with momentum, Adam)."""
+"""Gradient-descent optimisers (SGD with momentum, Adam).
+
+Both optimisers update ``parameter.data`` strictly in place: moment buffers
+are preallocated once, each step works through a single reusable scratch
+buffer per parameter, and no ``gradient ** 2`` / ``corrected_*`` temporaries
+are materialised.  A training step therefore allocates nothing proportional
+to the model size, which keeps large-model epochs out of the allocator (the
+training-step micro-benchmark guards this).
+"""
 
 from __future__ import annotations
 
@@ -16,6 +24,8 @@ class Optimizer:
         self.parameters: list[Tensor] = list(parameters)
         if not self.parameters:
             raise ValueError("optimizer received no parameters")
+        #: one scratch buffer per parameter, reused by every step
+        self._scratch = [np.empty_like(p.data) for p in self.parameters]
 
     def zero_grad(self) -> None:
         for parameter in self.parameters:
@@ -23,6 +33,19 @@ class Optimizer:
 
     def step(self) -> None:
         raise NotImplementedError
+
+    def _gradient_into(self, parameter: Tensor, scratch: np.ndarray,
+                       weight_decay: float) -> np.ndarray:
+        """The effective gradient (with weight decay folded in), no copies.
+
+        Returns ``parameter.grad`` directly when there is no weight decay;
+        otherwise writes ``grad + wd * data`` into ``scratch`` and returns it.
+        """
+        if not weight_decay:
+            return parameter.grad
+        np.multiply(parameter.data, weight_decay, out=scratch)
+        scratch += parameter.grad
+        return scratch
 
 
 class SGD(Optimizer):
@@ -39,19 +62,21 @@ class SGD(Optimizer):
         self._velocity = [np.zeros_like(p.data) for p in self.parameters]
 
     def step(self) -> None:
-        for parameter, velocity in zip(self.parameters, self._velocity):
+        for parameter, velocity, scratch in zip(self.parameters, self._velocity,
+                                                self._scratch):
             if parameter.grad is None:
                 continue
-            gradient = parameter.grad
-            if self.weight_decay:
-                gradient = gradient + self.weight_decay * parameter.data
+            gradient = self._gradient_into(parameter, scratch, self.weight_decay)
             if self.momentum:
                 velocity *= self.momentum
                 velocity += gradient
                 update = velocity
             else:
                 update = gradient
-            parameter.data = parameter.data - self.lr * update
+            # parameter.data -= lr * update, without a temporary and without
+            # rebinding .data (views held elsewhere keep seeing the update).
+            np.multiply(update, -self.lr, out=scratch)
+            parameter.data += scratch
 
 
 class Adam(Optimizer):
@@ -74,32 +99,49 @@ class Adam(Optimizer):
         self._step_count += 1
         bias_correction1 = 1.0 - self.beta1 ** self._step_count
         bias_correction2 = 1.0 - self.beta2 ** self._step_count
-        for parameter, first, second in zip(self.parameters, self._first_moment,
-                                            self._second_moment):
+        inv_sqrt_correction2 = 1.0 / np.sqrt(bias_correction2)
+        step_size = self.lr / bias_correction1
+        for parameter, first, second, scratch in zip(
+                self.parameters, self._first_moment, self._second_moment,
+                self._scratch):
             if parameter.grad is None:
                 continue
-            gradient = parameter.grad
-            if self.weight_decay:
-                gradient = gradient + self.weight_decay * parameter.data
-            first *= self.beta1
-            first += (1.0 - self.beta1) * gradient
-            second *= self.beta2
-            second += (1.0 - self.beta2) * gradient ** 2
-            corrected_first = first / bias_correction1
-            corrected_second = second / bias_correction2
-            parameter.data = parameter.data - self.lr * corrected_first / (
-                np.sqrt(corrected_second) + self.eps)
+            gradient = self._gradient_into(parameter, scratch, self.weight_decay)
+            # first = beta1 * first + (1 - beta1) * gradient, in place.  The
+            # axpy form avoids a (1 - beta1) * gradient temporary.
+            first *= self.beta1 / (1.0 - self.beta1)
+            first += gradient
+            first *= 1.0 - self.beta1
+            # second = beta2 * second + (1 - beta2) * gradient**2, in place.
+            second *= self.beta2 / (1.0 - self.beta2)
+            np.multiply(gradient, gradient, out=scratch)
+            second += scratch
+            second *= 1.0 - self.beta2
+            # data -= step_size * first / (sqrt(second) * inv_bc2 + eps).
+            np.sqrt(second, out=scratch)
+            scratch *= inv_sqrt_correction2
+            scratch += self.eps
+            np.divide(first, scratch, out=scratch)
+            scratch *= -step_size
+            parameter.data += scratch
 
 
 def clip_grad_norm(parameters, max_norm: float) -> float:
     """Scale gradients in place so their global L2 norm is at most ``max_norm``.
 
-    Returns the norm before clipping (useful for monitoring).
+    Single pass, allocation-free: the squared norm is accumulated with
+    ``np.dot`` on flattened views (no ``grad ** 2`` temporaries) and the
+    rescale writes back into each gradient with ``out=``.  Returns the norm
+    before clipping (useful for monitoring).
     """
     parameters = [p for p in parameters if p.grad is not None]
-    total = float(np.sqrt(sum(float((p.grad ** 2).sum()) for p in parameters)))
+    total_sq = 0.0
+    for parameter in parameters:
+        flat = parameter.grad.ravel()
+        total_sq += float(np.dot(flat, flat))
+    total = float(np.sqrt(total_sq))
     if total > max_norm and total > 0:
         scale = max_norm / total
         for parameter in parameters:
-            parameter.grad = parameter.grad * scale
+            np.multiply(parameter.grad, scale, out=parameter.grad)
     return total

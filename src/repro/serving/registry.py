@@ -28,6 +28,7 @@ from ..core.estimator import DuetEstimator
 from ..core.model import DuetModel
 from ..data.column import Column
 from ..data.table import Table
+from ..nn import PlanOptions
 from ..nn.serialization import load_module, npz_path, save_module
 
 __all__ = ["TableSchema", "SchemaTable", "RegistryEntry", "ModelRegistry"]
@@ -184,11 +185,16 @@ class ModelRegistry:
     # Save
     # ------------------------------------------------------------------
     def save(self, model: DuetModel, dataset: str, version: str | None = None,
-             metadata: dict | None = None) -> RegistryEntry:
+             metadata: dict | None = None,
+             compile_options: PlanOptions | None = None) -> RegistryEntry:
         """Persist ``model`` under ``(dataset, version)`` and index it.
 
         ``version`` defaults to the next ``v<N>`` after the dataset's
         current versions.  Saving an existing version overwrites it.
+        ``compile_options`` records how the model should be lowered for
+        serving; :meth:`load_estimator` rebuilds the compiled plan from
+        them, so a reloaded estimator serves through the same fast path
+        (and dtype) the model was registered with.
         """
         manifest = self._read_manifest()
         entry = manifest["datasets"].setdefault(dataset, {"latest": None, "versions": {}})
@@ -196,9 +202,11 @@ class ModelRegistry:
         directory = self.root / dataset / version
         directory.mkdir(parents=True, exist_ok=True)
 
-        save_module(model, directory / _MODEL_FILE,
-                    metadata={"config": _config_to_dict(model.config),
-                              "dataset": dataset, "version": version})
+        model_metadata = {"config": _config_to_dict(model.config),
+                          "dataset": dataset, "version": version}
+        if compile_options is not None:
+            model_metadata["compile_options"] = compile_options.to_dict()
+        save_module(model, directory / _MODEL_FILE, metadata=model_metadata)
         TableSchema.from_table(model.table).save(directory / _SCHEMA_FILE)
 
         record = {
@@ -223,20 +231,41 @@ class ModelRegistry:
     # ------------------------------------------------------------------
     # Load
     # ------------------------------------------------------------------
-    def load_model(self, dataset: str, version: str | None = None) -> DuetModel:
-        """Rebuild the saved model (schema table + config + parameters)."""
-        entry = self.entry(dataset, version)
+    def _load_entry(self, entry: RegistryEntry) -> tuple[DuetModel, dict]:
+        """Rebuild the saved model of ``entry``; returns ``(model, metadata)``."""
         schema = TableSchema.load(entry.schema_path)
         table = schema.to_table()
-        config = _config_from_dict(load_metadata(entry.model_path)["config"])
-        model = DuetModel(table, config)
+        metadata = load_metadata(entry.model_path)
+        model = DuetModel(table, _config_from_dict(metadata["config"]))
         load_module(model, entry.model_path)
         model.eval()
+        return model, metadata
+
+    def load_model(self, dataset: str, version: str | None = None) -> DuetModel:
+        """Rebuild the saved model (schema table + config + parameters)."""
+        model, _ = self._load_entry(self.entry(dataset, version))
         return model
 
+    def compile_options(self, dataset: str, version: str | None = None
+                        ) -> PlanOptions | None:
+        """The persisted plan options of ``(dataset, version)``, if any."""
+        entry = self.entry(dataset, version)
+        payload = load_metadata(entry.model_path).get("compile_options")
+        return None if payload is None else PlanOptions.from_dict(payload)
+
     def load_estimator(self, dataset: str, version: str | None = None) -> DuetEstimator:
-        """Rebuild a ready-to-serve estimator for ``(dataset, version)``."""
-        return DuetEstimator(self.load_model(dataset, version))
+        """Rebuild a ready-to-serve estimator for ``(dataset, version)``.
+
+        When the entry was saved with ``compile_options`` the estimator
+        comes back compiled — plans rebuilt from the persisted options, the
+        lowered path active by default.
+        """
+        model, metadata = self._load_entry(self.entry(dataset, version))
+        estimator = DuetEstimator(model)
+        payload = metadata.get("compile_options")
+        if payload is not None:
+            estimator.compile(PlanOptions.from_dict(payload))
+        return estimator
 
     # ------------------------------------------------------------------
     # Introspection

@@ -26,6 +26,7 @@ import numpy as np
 
 from ..core.config import ServingConfig
 from ..core.interface import CardinalityEstimator
+from ..nn import PlanOptions
 from ..workload.query import Query
 from .batcher import BatcherStats, MicroBatcher
 from .cache import EstimateCache, QueryKeyEncoder
@@ -45,6 +46,29 @@ class EstimationService:
         self._keys = QueryKeyEncoder(estimator.table)
         self.cache = EstimateCache(self.config.cache_capacity)
         self.stats = ServiceStats(latency_window=self.config.latency_window)
+        # Compiled fast path: lower the model into a plan for this service
+        # (reusing the estimator's own plan when the options match; the
+        # estimator's default path is never mutated).  All passes funnel
+        # through the single batcher thread, so plan buffers are reused
+        # batch after batch.  ``compiled=False`` pins the tape path even
+        # when the estimator itself was compiled (e.g. by a registry load),
+        # so the mode really is one-tape-pass-per-batch.
+        self._timed_runner = estimator.estimate_batch_timed
+        if self.config.compiled:
+            factory = getattr(estimator, "timed_batch_runner", None)
+            if factory is not None:
+                dtype = self.config.inference_dtype
+                if dtype is None:
+                    # Defer to the estimator's own options (e.g. the dtype
+                    # persisted in the registry); the matching options also
+                    # let the runner share the estimator's existing plan.
+                    persisted = getattr(estimator, "compile_options", None)
+                    dtype = persisted.dtype if persisted is not None else "float64"
+                self._timed_runner = factory(PlanOptions(dtype=dtype))
+        else:
+            tape_factory = getattr(estimator, "tape_batch_runner", None)
+            if tape_factory is not None:
+                self._timed_runner = tape_factory()
         self._batcher: MicroBatcher | None = None
         if self.config.micro_batching:
             self._batcher = MicroBatcher(self._run_batch,
@@ -114,7 +138,7 @@ class EstimationService:
         return estimates
 
     def _run_batch(self, queries: Sequence[Query]) -> np.ndarray:
-        estimates, _ = self.estimator.estimate_batch_timed(queries)
+        estimates, _ = self._timed_runner(queries)
         self.stats.record_batch(len(queries))
         return estimates
 

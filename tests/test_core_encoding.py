@@ -152,10 +152,15 @@ class TestQueryCodec:
         assert values.shape == (1, 3, 2)
         assert (ops[0, 0] >= 0).sum() == 2
 
-    def test_unconstrained_mask_is_all_ones(self, toy_table):
+    def test_unconstrained_mask_is_none_sentinel(self, toy_table):
+        """Columns no query constrains use the None sentinel (factor == 1)
+        instead of a dense all-ones array."""
         codec = QueryCodec(toy_table, DuetConfig())
         masks = codec.zero_out_masks([Query.from_triples([("a", "=", 1)])])
-        np.testing.assert_array_equal(masks[2][0], np.ones(toy_table.column("c").num_distinct))
+        assert masks[1] is None
+        assert masks[2] is None
+        np.testing.assert_array_equal(masks[0].shape,
+                                      (1, toy_table.column("a").num_distinct))
 
 
 class TestVirtualTableSampler:
