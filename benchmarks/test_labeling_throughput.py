@@ -6,14 +6,24 @@ chunked ``true_cardinalities`` implementation against the naive per-query
 executor loop: the vectorised path must not be slower, and in practice is
 several times faster because each constrained column's code array is
 scanned once per chunk instead of once per query.
+
+The append-then-label case guards the data lifecycle's incremental path:
+after an append, ``true_cardinalities_delta`` scans only the appended rows,
+so relabeling a workload costs a fraction of a full rescan — the labeling
+analogue of fine-tuning instead of retraining.
 """
 
 import time
 
 import numpy as np
 
-from repro.data import make_dmv
-from repro.workload import cardinality, make_random_workload, true_cardinalities
+from repro.data import ColumnStore, make_dmv
+from repro.workload import (
+    cardinality,
+    make_random_workload,
+    true_cardinalities,
+    true_cardinalities_delta,
+)
 
 
 def test_chunked_labeling_beats_per_query_loop(benchmark):
@@ -34,3 +44,39 @@ def test_chunked_labeling_beats_per_query_loop(benchmark):
           f"({naive_seconds / max(chunked_seconds, 1e-9):.1f}x)")
     # Guard: chunked labeling must not regress behind the per-query loop.
     assert chunked_seconds <= naive_seconds
+
+
+def test_delta_labeling_beats_full_relabel(benchmark):
+    """After a 10% append, delta labeling must be >=2x a full rescan."""
+    table = make_dmv(scale=0.004, seed=0)
+    store = ColumnStore.from_table(table)
+    base = store.snapshot()
+    workload = make_random_workload(base, num_queries=400, seed=17, label=False)
+    base_counts = true_cardinalities(base, workload.queries)
+
+    # Append 10% more rows drawn from the existing domains (the fast path a
+    # steady-state ingest hits); literals stay comparable across versions.
+    rng = np.random.default_rng(42)
+    append_rows = table.num_rows // 10
+    store.append({
+        name: base.column(name).distinct_values[
+            rng.integers(0, base.column(name).num_distinct, size=append_rows)]
+        for name in base.column_names
+    })
+    snapshot = store.snapshot()
+    delta = store.delta(base)
+
+    started = time.perf_counter()
+    full = true_cardinalities(snapshot, workload.queries)
+    full_seconds = time.perf_counter() - started
+
+    counts = benchmark(true_cardinalities_delta, delta, workload.queries,
+                       base_counts)
+    np.testing.assert_array_equal(counts, full)
+    delta_seconds = benchmark.stats.stats.mean
+    print(f"\nrelabeling {len(workload)} queries after a {append_rows}-row "
+          f"append on {snapshot.num_rows} rows: full {full_seconds:.3f}s vs "
+          f"delta {delta_seconds:.3f}s "
+          f"({full_seconds / max(delta_seconds, 1e-9):.1f}x)")
+    # Guard: scanning 10% of the rows must save at least half the work.
+    assert delta_seconds * 2 <= full_seconds

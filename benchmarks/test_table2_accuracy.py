@@ -6,7 +6,6 @@ so the slow blocks can be deselected individually.
 """
 
 import numpy as np
-import pytest
 from conftest import run_once
 
 from repro.eval import table2_accuracy

@@ -27,7 +27,6 @@ from ..nn import functional as F
 from ..nn.inference import stable_softmax
 from ..data.table import Table
 from ..workload.query import Query
-from ..workload.workload import Workload
 from .base import CardinalityEstimator
 
 __all__ = ["NaruModel", "NaruEstimator"]

@@ -16,14 +16,11 @@ from __future__ import annotations
 
 import numpy as np
 
-from .. import nn
 from ..nn import Tensor
 from ..nn import functional as F
 from ..data.table import Table
-from ..workload.query import Query
 from ..workload.workload import Workload
 from .naru import NaruEstimator
-from .base import CardinalityEstimator
 
 __all__ = ["UAEEstimator"]
 

@@ -11,6 +11,7 @@ Public entry points:
 * :class:`CardinalityEstimator` — the interface shared with all baselines.
 """
 
+from ..data.store import DomainGrowthError
 from .compiled import CompiledDuetModel
 from .config import DuetConfig, MPSNConfig, ServingConfig, dmv_config, small_table_config
 from .disjunction import conjoin, estimate_disjunction
@@ -43,6 +44,7 @@ __all__ = [
     "VirtualTupleBatch",
     "PredicateGuidance",
     "CardinalityEstimator",
+    "DomainGrowthError",
     "conjoin",
     "estimate_disjunction",
     "MLPMPSN",

@@ -129,6 +129,12 @@ class ServingConfig:
         the estimator's own compile options — e.g. the dtype persisted in
         the model registry — falling back to ``"float64"`` when the
         estimator carries none.
+    refresh_epochs:
+        Fine-tuning epochs one ``EstimationService.refresh()`` runs over the
+        appended rows (plus replay) before hot-swapping the model.
+    replay_fraction:
+        Old-row replay size of a refresh, as a fraction of the appended
+        rows — the anti-forgetting knob of incremental fine-tuning.
     """
 
     micro_batching: bool = True
@@ -138,6 +144,8 @@ class ServingConfig:
     latency_window: int = 65536
     compiled: bool = True
     inference_dtype: str | None = None
+    refresh_epochs: int = 1
+    replay_fraction: float = 0.25
 
     def __post_init__(self) -> None:
         if self.max_batch_size <= 0:
@@ -151,6 +159,10 @@ class ServingConfig:
         if self.inference_dtype not in (None, "float32", "float64"):
             raise ValueError("inference_dtype must be 'float32', 'float64', "
                              "or None (defer to the estimator's options)")
+        if self.refresh_epochs <= 0:
+            raise ValueError("refresh_epochs must be positive")
+        if self.replay_fraction < 0:
+            raise ValueError("replay_fraction must be non-negative")
 
 
 def dmv_config(**overrides) -> DuetConfig:

@@ -23,6 +23,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..data.store import DomainGrowthError
 from ..data.table import Table
 from ..workload.predicates import Operator, Predicate
 from ..workload.query import Query
@@ -167,6 +168,48 @@ class QueryCodec:
         #: traffic repeats literals heavily, and a dict hit is ~20x cheaper
         #: than even a vectorised searchsorted share
         self._interval_cache: list[dict] = [{} for _ in table.columns]
+
+    # ------------------------------------------------------------------
+    def ensure_compatible(self, table: Table) -> None:
+        """Check that ``table``'s domains match the ones this codec encodes.
+
+        The model's predicate encodings and output bins are sized to each
+        column's NDV and code order, so a table is only interchangeable when
+        every column carries the *identical* sorted distinct values.  Raises
+        a typed :class:`~repro.data.DomainGrowthError` naming the offending
+        columns otherwise — the caller must cold-train a new model.
+        """
+        if table.column_names != self.table.column_names:
+            raise DomainGrowthError(
+                f"table {table.name!r} has columns {table.column_names} but the "
+                f"codec encodes {self.table.column_names}",
+                columns=tuple(set(table.column_names)
+                              ^ set(self.table.column_names)))
+        changed = [
+            ours.name
+            for ours, theirs in zip(self.table.columns, table.columns)
+            if ours.num_distinct != theirs.num_distinct
+            or not np.array_equal(ours.distinct_values, theirs.distinct_values)
+        ]
+        if changed:
+            raise DomainGrowthError(
+                f"columns {changed} of table {table.name!r} have different "
+                f"domains than the ones this model was trained on; domain "
+                f"growth changes the encoding and output shapes — train a new "
+                f"model (DuetTrainer) instead of rebinding/fine-tuning",
+                columns=tuple(changed))
+
+    def rebind(self, table: Table) -> None:
+        """Re-point the codec at a new snapshot with identical domains.
+
+        This is the *re-encode* path for data change without domain growth:
+        predicate translation only depends on the sorted distinct values, so
+        after the compatibility check the swap is free (the literal interval
+        cache stays valid for the same reason).  Grown domains raise
+        :class:`~repro.data.DomainGrowthError` instead.
+        """
+        self.ensure_compatible(table)
+        self.table = table
 
     # ------------------------------------------------------------------
     def canonicalize(self, predicate: Predicate) -> CanonicalPredicate | None:

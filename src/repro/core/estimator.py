@@ -45,6 +45,12 @@ class DuetEstimator(CardinalityEstimator):
         self.model = model
         self._compiled: CompiledDuetModel | None = None
         self._use_compiled = False
+        #: registry version this estimator was loaded from (set by
+        #: ModelRegistry.load_estimator; None for ad-hoc estimators)
+        self.model_version: str | None = None
+        #: store version of the data the model was trained on; picked up
+        #: from a Snapshot table when available, else set by the registry
+        self.data_version: int | None = getattr(model.table, "data_version", None)
 
     # ------------------------------------------------------------------
     # Compilation

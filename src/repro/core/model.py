@@ -67,6 +67,38 @@ class DuetModel(nn.Module):
         return self.table.num_columns
 
     # ------------------------------------------------------------------
+    def rebind(self, table: Table) -> "DuetModel":
+        """Re-point the model at a new snapshot of the same (domain-wise) data.
+
+        The data lifecycle's *re-encode* path: after an append that did not
+        grow any column's domain, the model's architecture still matches and
+        only the table reference (row count for selectivity scaling, codes
+        for further training) needs to change.  Grown domains raise a typed
+        :class:`~repro.data.DomainGrowthError` — the shapes no longer match
+        and a cold train is required.  Returns ``self`` for chaining.
+        """
+        self.codec.rebind(table)
+        self.table = table
+        return self
+
+    def clone(self, table: Table | None = None) -> "DuetModel":
+        """A structurally identical model with copied parameter values.
+
+        ``table`` must carry the same domains (checked, typed error
+        otherwise); it defaults to this model's own table.  Serving uses
+        clones to fine-tune *off to the side* while the original keeps
+        answering requests, then swaps the tuned copy in atomically.
+        """
+        target = table if table is not None else self.table
+        self.codec.ensure_compatible(target)
+        twin = DuetModel(target, self.config)
+        # Same config + same domains -> same module tree, so parameters()
+        # yields matching tensors in matching order.
+        for ours, theirs in zip(self.parameters(), twin.parameters()):
+            theirs.data[...] = ours.data
+        return twin
+
+    # ------------------------------------------------------------------
     def encode_batch(self, values: np.ndarray, ops: np.ndarray) -> Tensor:
         """Encode code-space predicate arrays into the MADE input tensor.
 

@@ -16,6 +16,7 @@ import numpy as np
 from .. import nn
 from ..nn import Tensor
 from ..nn import functional as F
+from ..data.store import DomainGrowthError, TableDelta
 from ..data.table import Table
 from ..workload.workload import Workload
 from .config import DuetConfig
@@ -89,6 +90,7 @@ class DuetTrainer:
         config: DuetConfig | None = None,
         seed: int | None = None,
         guidance: "PredicateGuidance | None" = None,
+        train_rows: np.ndarray | None = None,
     ) -> None:
         self.model = model
         self.table = table
@@ -100,7 +102,13 @@ class DuetTrainer:
                                            guidance=guidance)
         self.optimizer = nn.Adam(model.parameters(), lr=self.config.learning_rate)
         self._rng = np.random.default_rng(self.config.seed if seed is None else seed)
-        self._codes = table.code_matrix()
+        #: table row indices an epoch iterates over; :meth:`fine_tune` passes
+        #: the appended rows plus a replay sample so only that slice of a
+        #: large table is ever gathered into memory
+        self.train_row_indices = (np.arange(table.num_rows) if train_rows is None
+                                  else np.asarray(train_rows, dtype=np.int64))
+        self._codes = table.code_matrix(None if train_rows is None
+                                        else self.train_row_indices)
         self._query_arrays = None
         if self.hybrid:
             # Pre-translate the training workload once; batches are sliced per
@@ -117,8 +125,8 @@ class DuetTrainer:
 
     # ------------------------------------------------------------------
     def _iterate_batches(self):
-        order = self._rng.permutation(self.table.num_rows)
-        for start in range(0, self.table.num_rows, self.config.batch_size):
+        order = self._rng.permutation(self._codes.shape[0])
+        for start in range(0, order.size, self.config.batch_size):
             yield self._codes[order[start:start + self.config.batch_size]]
 
     def _query_batch(self):
@@ -196,6 +204,56 @@ class DuetTrainer:
         for epoch in range(epochs if epochs is not None else self.config.epochs):
             history.append(self.train_epoch(epoch, evaluation_fn=evaluation_fn))
         return history
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def fine_tune(
+        cls,
+        snapshot: Table,
+        base_model: DuetModel,
+        delta: "TableDelta",
+        *,
+        training_workload: Workload | None = None,
+        config: DuetConfig | None = None,
+        epochs: int = 1,
+        replay_fraction: float = 0.25,
+        seed: int | None = None,
+    ) -> tuple["DuetTrainer", TrainingHistory]:
+        """Refresh ``base_model`` on appended data instead of retraining.
+
+        The incremental half of the paper's operational claim: Algorithm 1's
+        virtual-table sampling runs over the *delta* rows (plus a replay
+        sample of ``replay_fraction * appended_rows`` old rows against
+        forgetting), so the cost is proportional to the append, not the
+        table.  ``base_model`` is rebound to ``snapshot`` (updating the row
+        count selectivities scale by) and updated **in place**; appends that
+        grew a column's domain raise a typed
+        :class:`~repro.data.DomainGrowthError` because the model's encoding
+        and output shapes no longer fit — that case needs a cold train.
+
+        Returns ``(trainer, history)``; the trainer can keep fine-tuning
+        (e.g. :meth:`finetune_on_queries` on post-append feedback).
+        """
+        if replay_fraction < 0:
+            raise ValueError("replay_fraction must be non-negative")
+        if delta.domains_grew:
+            raise DomainGrowthError(
+                f"columns {list(delta.grown_columns)} grew their domain between "
+                f"versions {delta.base_version} and {delta.new_version}; "
+                f"fine-tuning cannot change the model's shapes — train a new "
+                f"model on the snapshot instead",
+                columns=delta.grown_columns)
+        base_model.rebind(snapshot)
+        base_rows = delta.base_rows
+        appended = np.arange(base_rows, snapshot.num_rows)
+        replay_count = min(int(round(replay_fraction * appended.size)), base_rows)
+        rng = np.random.default_rng((config or base_model.config).seed
+                                    if seed is None else seed)
+        replay = rng.choice(base_rows, size=replay_count, replace=False)
+        trainer = cls(base_model, snapshot, training_workload, config, seed=seed,
+                      train_rows=np.concatenate([appended, replay]))
+        history = trainer.train(epochs)
+        return trainer, history
 
     # ------------------------------------------------------------------
     def finetune_on_queries(self, workload: Workload, steps: int = 50) -> list[float]:

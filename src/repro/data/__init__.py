@@ -14,11 +14,16 @@ from .datasets import (
 )
 from .join import JoinSpec, join_row_multiplicities, join_tables
 from .statistics import ColumnStatistics, TableStatistics, correlation_matrix, cramers_v
+from .store import ColumnStore, DomainGrowthError, Snapshot, TableDelta
 from .table import Table
 
 __all__ = [
     "Column",
     "Table",
+    "ColumnStore",
+    "Snapshot",
+    "TableDelta",
+    "DomainGrowthError",
     "load_csv",
     "ColumnSpec",
     "SyntheticTableSpec",

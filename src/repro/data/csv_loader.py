@@ -3,20 +3,31 @@ dropped in unchanged when they are available.
 
 The offline reproduction uses the synthetic generators in
 :mod:`repro.data.datasets`; this loader exists so that a user with the real
-CSV files gets bit-for-bit the same pipeline the paper used (dictionary
-encoding per column, NaN handling, optional column subset).
+CSV files gets the same pipeline the paper used (dictionary encoding per
+column, NaN handling, optional column subset).
+
+Files are **streamed in two passes** through a
+:class:`~repro.data.ColumnStore`: the first pass only decides each column's
+type (numeric vs string, integer vs float) so the decision is global — a
+column is encoded the same way whatever ``chunk_rows`` is, and the result
+matches a whole-file load bit for bit; the second pass encodes chunk by
+chunk.  Only ``chunk_rows`` raw rows are ever buffered, so peak memory is
+bounded by the chunk size plus the encoded output instead of a full
+raw-string copy of the file (the file is read twice in exchange).  The
+result is the store's :class:`~repro.data.Snapshot` — a :class:`Table` like
+before, now additionally carrying the store so callers can keep appending
+to the same dataset.
 """
 
 from __future__ import annotations
 
 import csv
 from pathlib import Path
-from typing import Sequence
+from typing import Iterator, Sequence
 
 import numpy as np
 
-from .column import Column
-from .table import Table
+from .store import ColumnStore, Snapshot
 
 __all__ = ["load_csv"]
 
@@ -29,8 +40,9 @@ def load_csv(
     usecols: Sequence[str] | None = None,
     max_rows: int | None = None,
     delimiter: str = ",",
-) -> Table:
-    """Load a CSV file into a dictionary-encoded :class:`Table`.
+    chunk_rows: int = 65536,
+) -> Snapshot:
+    """Stream a CSV file into a dictionary-encoded :class:`Table` snapshot.
 
     Parameters
     ----------
@@ -40,54 +52,103 @@ def load_csv(
         Optional subset (and order) of columns to keep.
     max_rows:
         Optional row limit, useful for smoke tests on huge files.
+    chunk_rows:
+        Rows buffered per :meth:`ColumnStore.append` batch; bounds peak
+        memory on huge files.  The encoded result is independent of the
+        chunk size (column types are decided by a dedicated first pass).
     """
     path = Path(path)
     if not path.exists():
         raise FileNotFoundError(path)
+    if chunk_rows <= 0:
+        raise ValueError("chunk_rows must be positive")
 
+    keep_names, keep_positions = _resolve_columns(path, usecols, delimiter)
+
+    # Pass 1: decide each column's dtype from every value it will contain.
+    numeric = [True] * len(keep_names)
+    integral = [True] * len(keep_names)
+    empty = True
+    for buffers in _iter_chunks(path, delimiter, keep_positions, max_rows,
+                                chunk_rows):
+        empty = False
+        for slot, values in enumerate(buffers):
+            if not numeric[slot]:
+                continue
+            try:
+                parsed = np.asarray(values).astype(np.float64)
+            except ValueError:
+                numeric[slot] = False
+                continue
+            if integral[slot] and not np.all(parsed == np.round(parsed)):
+                integral[slot] = False
+    if empty:
+        raise ValueError(f"{path} contains a header but no data rows")
+
+    # Pass 2: encode chunk by chunk under the global type decision.
+    store = ColumnStore(table_name or path.stem, keep_names)
+    for buffers in _iter_chunks(path, delimiter, keep_positions, max_rows,
+                                chunk_rows):
+        store.append({
+            name: _coerce(values, numeric[slot], integral[slot])
+            for slot, (name, values) in enumerate(zip(keep_names, buffers))
+        })
+    return store.snapshot()
+
+
+def _resolve_columns(path: Path, usecols: Sequence[str] | None,
+                     delimiter: str) -> tuple[list[str], list[int]]:
+    """Read the header and map the kept column names to positions."""
     with path.open(newline="") as handle:
         reader = csv.reader(handle, delimiter=delimiter)
         try:
             header = next(reader)
         except StopIteration as error:
             raise ValueError(f"{path} is empty") from error
-        header = [name.strip() for name in header]
+    header = [name.strip() for name in header]
+    if usecols is None:
+        keep_names = header
+    else:
+        missing = [name for name in usecols if name not in header]
+        if missing:
+            raise KeyError(f"columns {missing} not found in {path}")
+        keep_names = list(usecols)
+    return keep_names, [header.index(name) for name in keep_names]
 
-        if usecols is None:
-            keep_names = header
-        else:
-            missing = [name for name in usecols if name not in header]
-            if missing:
-                raise KeyError(f"columns {missing} not found in {path}")
-            keep_names = list(usecols)
-        keep_positions = [header.index(name) for name in keep_names]
 
-        raw_columns: list[list[str]] = [[] for _ in keep_names]
-        for row_number, row in enumerate(reader):
-            if max_rows is not None and row_number >= max_rows:
+def _iter_chunks(path: Path, delimiter: str, keep_positions: list[int],
+                 max_rows: int | None, chunk_rows: int
+                 ) -> Iterator[list[list[str]]]:
+    """Yield per-column string buffers of at most ``chunk_rows`` rows."""
+    with path.open(newline="") as handle:
+        reader = csv.reader(handle, delimiter=delimiter)
+        next(reader)  # header (validated by _resolve_columns)
+        buffers: list[list[str]] = [[] for _ in keep_positions]
+        buffered = 0
+        consumed = 0
+        for row in reader:
+            if max_rows is not None and consumed >= max_rows:
                 break
             if not row:
                 continue
+            consumed += 1
             for slot, position in enumerate(keep_positions):
                 value = row[position].strip() if position < len(row) else ""
-                raw_columns[slot].append(value if value else _MISSING_TOKEN)
+                buffers[slot].append(value if value else _MISSING_TOKEN)
+            buffered += 1
+            if buffered >= chunk_rows:
+                yield buffers
+                buffers = [[] for _ in keep_positions]
+                buffered = 0
+        if buffered:
+            yield buffers
 
-    if not raw_columns[0]:
-        raise ValueError(f"{path} contains a header but no data rows")
 
-    columns = [Column.from_values(name, _coerce(values))
-               for name, values in zip(keep_names, raw_columns)]
-    return Table(table_name or path.stem, columns)
-
-
-def _coerce(values: list[str]) -> np.ndarray:
-    """Convert a string column to numbers when every value parses cleanly."""
+def _coerce(values: list[str], numeric: bool, integral: bool) -> np.ndarray:
+    """Apply the column's globally decided type to one chunk of strings."""
     array = np.asarray(values)
-    try:
-        numeric = array.astype(np.float64)
-    except ValueError:
+    if not numeric:
         return array
+    parsed = array.astype(np.float64)
     # Keep integers integral so the dictionary codes follow integer order.
-    if np.all(numeric == np.round(numeric)):
-        return numeric.astype(np.int64)
-    return numeric
+    return parsed.astype(np.int64) if integral else parsed

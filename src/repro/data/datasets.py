@@ -20,7 +20,7 @@ be used instead through :func:`repro.data.csv_loader.load_csv`.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 

@@ -1,0 +1,404 @@
+"""Mutable, chunked columnar store with snapshot versioning.
+
+The static :class:`~repro.data.table.Table` is frozen at construction, which
+is fine for a one-shot reproduction but rules out the paper's operational
+story: a deployed estimator absorbing *data* changes through incremental
+training instead of full retrains.  This module adds the append lifecycle:
+
+* :class:`ColumnStore` — per-column dictionaries plus a list of immutable
+  integer-code *chunks*; ``append`` ingests batches of raw values, growing
+  dictionaries as needed while keeping codes sorted by value order;
+* :class:`Snapshot` — an immutable :class:`Table` view of the store at one
+  point in time, carrying a monotonically increasing ``data_version``.  Every
+  existing consumer (trainer, executor, codec, serving) takes a ``Table``, so
+  snapshots drop into all of them unchanged;
+* :class:`TableDelta` — what changed between two snapshots: the appended rows
+  as their own table (full current domains, appended tuples only), plus which
+  column domains grew.  Delta labeling, incremental fine-tuning, and staleness
+  reporting are all driven by deltas.
+
+Dictionary growth and snapshot immutability interact: codes index *sorted*
+distinct values, so a new value landing in the middle of a domain shifts every
+code above it.  The store handles this with **copy-on-remap**: existing chunks
+are never mutated — a growth append builds remapped copies for the store's
+current state while older snapshots keep referencing the original arrays
+(which stay consistent with the dictionaries those snapshots hold).  Appends
+whose values are all already in the domain take the *domain-preserving fast
+path*: no remap, no copies, chunks are shared structurally with previous
+snapshots.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from typing import Iterable, Mapping, Sequence
+
+import numpy as np
+
+from .column import Column
+from .table import Table
+
+__all__ = ["DomainGrowthError", "Snapshot", "TableDelta", "ColumnStore"]
+
+
+class DomainGrowthError(RuntimeError):
+    """A column's value domain grew in a way the consumer cannot absorb.
+
+    Raised by consumers whose shape is baked to a snapshot's domains — the
+    model's output bins and predicate encodings are sized to each column's
+    NDV, so a grown domain needs a cold retrain, not a rebind/fine-tune.
+    """
+
+    def __init__(self, message: str, columns: Sequence[str] = ()) -> None:
+        super().__init__(message)
+        self.columns = tuple(columns)
+
+
+class Snapshot(Table):
+    """An immutable, versioned view of a :class:`ColumnStore`.
+
+    A snapshot *is* a table — same columns, codes, and API — plus:
+
+    * ``data_version`` — the store version it captures (monotonic), and
+    * ``store`` — the store it came from, so downstream layers (serving)
+      can compute staleness and deltas without extra plumbing.
+    """
+
+    def __init__(self, name: str, columns: Sequence[Column], data_version: int,
+                 store: "ColumnStore | None" = None) -> None:
+        super().__init__(name, columns)
+        self.data_version = int(data_version)
+        self.store = store
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"Snapshot(name={self.name!r}, version={self.data_version}, "
+                f"rows={self.num_rows}, columns={self.num_columns})")
+
+
+@dataclass(frozen=True)
+class TableDelta:
+    """The difference between two snapshots of one store (append-only).
+
+    Attributes
+    ----------
+    base_version / new_version:
+        The two ``data_version`` endpoints (``base_version`` may be 0, the
+        empty store).
+    base_rows:
+        Row count at ``base_version``; appended rows occupy positions
+        ``[base_rows, base_rows + appended.num_rows)`` in the new snapshot.
+    appended:
+        The appended tuples as their own :class:`Table`, dictionary-encoded
+        against the **new** snapshot's (full) domains — exactly what the
+        chunk-vectorised labeling kernel and Algorithm 1 sampling consume.
+    grown_columns:
+        Names of columns whose domain grew between the two versions.
+    promoted_columns:
+        Names of columns whose dictionary *dtype kind* changed (e.g. a
+        numeric column promoted to strings by a later append).  Promotion
+        changes predicate comparison semantics, so delta labeling refuses
+        to reuse base counts across it.
+    """
+
+    base_version: int
+    new_version: int
+    base_rows: int
+    appended: Table
+    grown_columns: tuple[str, ...] = ()
+    promoted_columns: tuple[str, ...] = ()
+
+    @property
+    def appended_rows(self) -> int:
+        return self.appended.num_rows
+
+    @property
+    def domains_grew(self) -> bool:
+        return bool(self.grown_columns)
+
+
+@dataclass
+class _ColumnState:
+    """One column inside the store: current dictionary + immutable chunks."""
+
+    name: str
+    distinct_values: np.ndarray          # sorted, append-only growth
+    chunks: list[np.ndarray]             # int64 code arrays, never mutated
+
+
+@dataclass(frozen=True)
+class _VersionInfo:
+    """What the store remembers about each published version."""
+
+    num_rows: int
+    num_chunks: int
+    ndv: tuple[int, ...]
+    dtype_kinds: tuple[str, ...]
+
+
+class ColumnStore:
+    """A mutable, chunked, dictionary-encoded columnar store.
+
+    Thread-safe for concurrent ``append``/``snapshot``/``delta`` calls (one
+    writer lock); snapshots handed out are immutable and never change under
+    the caller, whatever the store does afterwards.
+    """
+
+    def __init__(self, name: str, column_names: Sequence[str]) -> None:
+        if not column_names:
+            raise ValueError("a column store needs at least one column")
+        names = list(column_names)
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate column names in store {name!r}")
+        self.name = name
+        self._columns = [
+            _ColumnState(name=column_name,
+                         distinct_values=np.empty(0, dtype=np.int64),
+                         chunks=[])
+            for column_name in names
+        ]
+        self._num_rows = 0
+        self._data_version = 0
+        self._lock = threading.RLock()
+        # Version 0 is always the empty store, so deltas/staleness against an
+        # unknown base degrade to "everything is new" instead of failing.
+        self._versions: dict[int, _VersionInfo] = {
+            0: _VersionInfo(num_rows=0, num_chunks=0,
+                            ndv=tuple(0 for _ in names),
+                            dtype_kinds=tuple("i" for _ in names)),
+        }
+        self._snapshot_cache: dict[int, Snapshot] = {}
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_table(cls, table: Table, name: str | None = None) -> "ColumnStore":
+        """Seed a store with an existing table's tuples (version 1)."""
+        store = cls(name or table.name, table.column_names)
+        with store._lock:
+            for state, column in zip(store._columns, table.columns):
+                state.distinct_values = np.asarray(column.distinct_values)
+                state.chunks.append(np.asarray(column.codes, dtype=np.int64))
+            store._num_rows = table.num_rows
+            store._publish()
+        return store
+
+    @classmethod
+    def from_dict(cls, name: str, data: Mapping[str, Iterable]) -> "ColumnStore":
+        """Seed a store from raw values (version 1)."""
+        store = cls(name, list(data))
+        store.append(data)
+        return store
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def column_names(self) -> list[str]:
+        return [state.name for state in self._columns]
+
+    @property
+    def num_rows(self) -> int:
+        with self._lock:
+            return self._num_rows
+
+    @property
+    def data_version(self) -> int:
+        with self._lock:
+            return self._data_version
+
+    def rows_since(self, base_version: int) -> int:
+        """Rows appended after ``base_version`` (staleness of that version).
+
+        Unknown (pre-trim or foreign) versions count from the empty store:
+        every current row is considered new.
+        """
+        with self._lock:
+            base = self._versions.get(int(base_version))
+            base_rows = base.num_rows if base is not None else 0
+            return self._num_rows - base_rows
+
+    # ------------------------------------------------------------------
+    # Append
+    # ------------------------------------------------------------------
+    def append(self, data: Mapping[str, Iterable]) -> Snapshot:
+        """Append one batch of raw rows; returns the new snapshot.
+
+        ``data`` maps every column name to an equal-length sequence of raw
+        values.  Values already covered by the current dictionaries take the
+        domain-preserving fast path (no remap); new values grow the
+        dictionaries with a stable code remap applied copy-on-write, so
+        previously handed-out snapshots are unaffected.  Appending zero rows
+        returns the current snapshot without bumping the version.
+        """
+        arrays = self._validate_batch(data)
+        if arrays[0].size == 0:
+            return self.snapshot()
+        with self._lock:
+            for state, values in zip(self._columns, arrays):
+                self._append_column(state, values)
+            self._num_rows += int(arrays[0].size)
+            self._publish()
+            return self.snapshot()
+
+    def _validate_batch(self, data: Mapping[str, Iterable]) -> list[np.ndarray]:
+        expected = self.column_names
+        missing = [name for name in expected if name not in data]
+        unknown = [name for name in data if name not in expected]
+        if missing or unknown:
+            raise KeyError(
+                f"append to store {self.name!r} must cover exactly its columns; "
+                f"missing {missing}, unknown {unknown}")
+        arrays = []
+        for name in expected:
+            values = data[name]
+            array = (values if isinstance(values, np.ndarray)
+                     else np.asarray(list(values)))
+            if array.ndim != 1:
+                raise ValueError(f"column {name!r}: appended values must be 1-D")
+            arrays.append(array)
+        lengths = {array.size for array in arrays}
+        if len(lengths) != 1:
+            raise ValueError(f"appended columns have differing lengths: {lengths}")
+        return arrays
+
+    def _append_column(self, state: _ColumnState, values: np.ndarray) -> None:
+        """Encode ``values`` against (a possibly grown) dictionary."""
+        dictionary = state.distinct_values
+        if dictionary.size and values.size:
+            values = self._unify_dtype(state, values)
+            dictionary = state.distinct_values  # may have been promoted
+        if dictionary.size:
+            positions = np.searchsorted(dictionary, values)
+            clipped = np.minimum(positions, dictionary.size - 1)
+            in_domain = dictionary[clipped] == values
+            if in_domain.all():
+                # Domain-preserving fast path: no dictionary change, no remap.
+                state.chunks.append(clipped.astype(np.int64))
+                return
+            new_distinct = np.unique(values[~in_domain])
+            merged = np.union1d(dictionary, new_distinct)
+        else:
+            merged = np.unique(values)
+        if dictionary.size:
+            # Stable remap old codes -> new codes; union1d keeps every old
+            # value, so this lookup is exact.  Chunks are replaced by fresh
+            # remapped arrays (copy-on-remap): snapshots holding the old
+            # arrays stay consistent with the old dictionary.
+            remap = np.searchsorted(merged, dictionary)
+            state.chunks = [remap[chunk] for chunk in state.chunks]
+        state.distinct_values = merged
+        state.chunks.append(np.searchsorted(merged, values).astype(np.int64))
+
+    def _unify_dtype(self, state: _ColumnState, values: np.ndarray) -> np.ndarray:
+        """Promote the column dictionary and/or the batch to a common dtype.
+
+        Numeric kinds promote through NumPy's rules; mixing numeric and
+        string kinds promotes everything to strings (with a full re-sort and
+        remap, since lexicographic order differs from numeric order).
+        """
+        old = state.distinct_values.dtype
+        new = values.dtype
+        if old.kind == new.kind:
+            return values
+        numeric = ("i", "u", "f", "b")
+        if old.kind in numeric and new.kind in numeric:
+            return values  # searchsorted/union1d promote numerics natively
+        # Mixed kinds: fall back to the string representation of both sides.
+        as_text = state.distinct_values.astype(str)
+        order = np.argsort(as_text, kind="stable")
+        if not np.array_equal(order, np.arange(order.size)):
+            # Re-sorting the dictionary changes code order: remap all chunks.
+            remap = np.empty(order.size, dtype=np.int64)
+            remap[order] = np.arange(order.size)
+            state.chunks = [remap[chunk] for chunk in state.chunks]
+        state.distinct_values = as_text[order]
+        return values.astype(str)
+
+    def _publish(self) -> None:
+        """Record the new version's bookkeeping (caller holds the lock)."""
+        self._data_version += 1
+        self._versions[self._data_version] = _VersionInfo(
+            num_rows=self._num_rows,
+            num_chunks=len(self._columns[0].chunks),
+            ndv=tuple(state.distinct_values.size for state in self._columns),
+            dtype_kinds=tuple(state.distinct_values.dtype.kind
+                              for state in self._columns),
+        )
+        self._snapshot_cache.clear()
+
+    # ------------------------------------------------------------------
+    # Snapshots and deltas
+    # ------------------------------------------------------------------
+    def snapshot(self) -> Snapshot:
+        """The current state as an immutable, versioned :class:`Table`."""
+        with self._lock:
+            version = self._data_version
+            cached = self._snapshot_cache.get(version)
+            if cached is not None:
+                return cached
+            columns = [
+                Column(name=state.name,
+                       distinct_values=state.distinct_values,
+                       codes=self._materialise(state.chunks))
+                for state in self._columns
+            ]
+            snapshot = Snapshot(self.name, columns, version, store=self)
+            self._snapshot_cache[version] = snapshot
+            return snapshot
+
+    @staticmethod
+    def _materialise(chunks: list[np.ndarray]) -> np.ndarray:
+        if not chunks:
+            return np.empty(0, dtype=np.int64)
+        if len(chunks) == 1:
+            return chunks[0]  # chunks are immutable; sharing is safe
+        return np.concatenate(chunks)
+
+    def delta(self, base_version: int | Snapshot) -> TableDelta:
+        """What changed between ``base_version`` and the current version.
+
+        The appended rows come back encoded against the **current** domains,
+        so the delta table drops straight into the labeling kernel and the
+        virtual-table sampler.  An unknown base version degrades to the
+        empty store (everything is an append).
+        """
+        if isinstance(base_version, Snapshot):
+            base_version = base_version.data_version
+        base_version = int(base_version)
+        with self._lock:
+            base = self._versions.get(base_version)
+            if base is None:
+                base, base_version = self._versions[0], 0
+            appended_columns = []
+            grown: list[str] = []
+            promoted: list[str] = []
+            for index, state in enumerate(self._columns):
+                # Chunk boundaries align with appends (and remaps preserve
+                # the partitioning), so the appended rows are exactly the
+                # chunks past the base version's count — no base-row copy.
+                codes = self._materialise(state.chunks[base.num_chunks:])
+                appended_columns.append(Column(name=state.name,
+                                               distinct_values=state.distinct_values,
+                                               codes=codes))
+                if state.distinct_values.size != base.ndv[index]:
+                    grown.append(state.name)
+                # Promotion only matters when the base actually had rows:
+                # counts over an empty base are trivially reusable whatever
+                # the dtype became (and version 0's recorded kinds are just
+                # the empty-store placeholders).
+                if (base.num_rows
+                        and state.distinct_values.dtype.kind != base.dtype_kinds[index]):
+                    promoted.append(state.name)
+            appended = Table(f"{self.name}_delta", appended_columns)
+            return TableDelta(base_version=base_version,
+                              new_version=self._data_version,
+                              base_rows=base.num_rows,
+                              appended=appended,
+                              grown_columns=tuple(grown),
+                              promoted_columns=tuple(promoted))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"ColumnStore(name={self.name!r}, version={self.data_version}, "
+                f"rows={self.num_rows}, columns={len(self._columns)})")

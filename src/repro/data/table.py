@@ -72,9 +72,17 @@ class Table:
         return self._index[name]
 
     # ------------------------------------------------------------------
-    def code_matrix(self) -> np.ndarray:
-        """Return the ``(num_rows, num_columns)`` matrix of integer codes."""
-        return np.stack([column.codes for column in self.columns], axis=1)
+    def code_matrix(self, rows: np.ndarray | None = None) -> np.ndarray:
+        """Return the ``(num_rows, num_columns)`` matrix of integer codes.
+
+        ``rows`` selects a subset of row indices; gathering per column here
+        avoids materialising the full matrix when a caller (incremental
+        fine-tuning) only needs a small slice of a large table.
+        """
+        if rows is None:
+            return np.stack([column.codes for column in self.columns], axis=1)
+        rows = np.asarray(rows, dtype=np.int64)
+        return np.stack([column.codes[rows] for column in self.columns], axis=1)
 
     def row(self, index: int) -> list:
         """Raw values of row ``index`` (mostly for debugging and examples)."""

@@ -29,13 +29,11 @@ from ..core import DuetConfig, DuetEstimator, DuetModel, DuetTrainer, MPSNConfig
 from ..data import make_dataset
 from ..data.table import Table
 from ..workload import (
-    Workload,
     make_inworkload,
     make_multi_predicate_workload,
     make_random_workload,
 )
 from .harness import EvaluationResult, evaluate_estimator, train_duet
-from .metrics import qerror, summarize_qerrors
 from .reporting import cumulative_distribution, format_series, format_table
 
 __all__ = [

@@ -23,22 +23,34 @@ __all__ = ["QueryKeyEncoder", "EstimateCache"]
 
 
 class QueryKeyEncoder:
-    """Maps queries onto canonical, hashable cache keys for one table."""
+    """Maps queries onto canonical, hashable cache keys for one table.
 
-    def __init__(self, table: Table) -> None:
+    ``namespace`` scopes every key to the serving identity producing the
+    estimates — the service passes ``(dataset, model_version, data_version)``
+    — so entries cached under one model can never be served after a hot-swap
+    to another (the swap also flushes, but the key guards against any path
+    that misses the flush, e.g. an external shared cache).
+    """
+
+    def __init__(self, table: Table, namespace: tuple | None = None) -> None:
         self.table = table
+        self.namespace = namespace
 
     def key(self, query: Query) -> tuple:
         """Canonical key: sorted ``(column, low, high)`` code intervals.
 
         Built on :meth:`Query.code_intervals` — the same interval semantics
         the ground-truth executor uses — so two queries share a key exactly
-        when they select the same tuples.
+        when they select the same tuples (and, with a namespace attached,
+        are answered by the same model over the same data version).
         """
-        return tuple(sorted(
+        intervals = tuple(sorted(
             (column_index, low, high)
             for column_index, (low, high) in query.code_intervals(self.table).items()
         ))
+        if self.namespace is None:
+            return intervals
+        return (self.namespace, intervals)
 
 
 class EstimateCache:

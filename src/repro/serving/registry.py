@@ -61,7 +61,7 @@ class SchemaTable(Table):
             f"schema-only table {self.name!r} carries no tuples; use the data "
             f"table for execution, sampling, or training")
 
-    def code_matrix(self) -> np.ndarray:
+    def code_matrix(self, rows=None) -> np.ndarray:
         raise self._no_data()
 
     def row(self, index: int) -> list:
@@ -132,6 +132,9 @@ class RegistryEntry:
     created_at: float
     num_parameters: int
     metadata: dict
+    #: store ``data_version`` the model was trained on (None for models of
+    #: static tables that never passed through a ColumnStore)
+    data_version: int | None = None
 
     @property
     def model_path(self) -> Path:
@@ -186,7 +189,8 @@ class ModelRegistry:
     # ------------------------------------------------------------------
     def save(self, model: DuetModel, dataset: str, version: str | None = None,
              metadata: dict | None = None,
-             compile_options: PlanOptions | None = None) -> RegistryEntry:
+             compile_options: PlanOptions | None = None,
+             data_version: int | None = None) -> RegistryEntry:
         """Persist ``model`` under ``(dataset, version)`` and index it.
 
         ``version`` defaults to the next ``v<N>`` after the dataset's
@@ -194,16 +198,23 @@ class ModelRegistry:
         ``compile_options`` records how the model should be lowered for
         serving; :meth:`load_estimator` rebuilds the compiled plan from
         them, so a reloaded estimator serves through the same fast path
-        (and dtype) the model was registered with.
+        (and dtype) the model was registered with.  ``data_version`` pins
+        the store version the model was trained on (defaulting to the
+        model table's own ``data_version`` when it is a
+        :class:`~repro.data.Snapshot`); the serving layer compares it
+        against the live store to report staleness.
         """
         manifest = self._read_manifest()
         entry = manifest["datasets"].setdefault(dataset, {"latest": None, "versions": {}})
         version = version or self._next_version(entry["versions"])
         directory = self.root / dataset / version
         directory.mkdir(parents=True, exist_ok=True)
+        if data_version is None:
+            data_version = getattr(model.table, "data_version", None)
 
         model_metadata = {"config": _config_to_dict(model.config),
-                          "dataset": dataset, "version": version}
+                          "dataset": dataset, "version": version,
+                          "data_version": data_version}
         if compile_options is not None:
             model_metadata["compile_options"] = compile_options.to_dict()
         save_module(model, directory / _MODEL_FILE, metadata=model_metadata)
@@ -213,6 +224,7 @@ class ModelRegistry:
             "created_at": time.time(),
             "num_parameters": model.num_parameters(),
             "metadata": metadata or {},
+            "data_version": data_version,
         }
         entry["versions"][version] = record
         entry["latest"] = version
@@ -220,7 +232,8 @@ class ModelRegistry:
         return RegistryEntry(dataset=dataset, version=version, directory=directory,
                              created_at=record["created_at"],
                              num_parameters=record["num_parameters"],
-                             metadata=record["metadata"])
+                             metadata=record["metadata"],
+                             data_version=data_version)
 
     @staticmethod
     def _next_version(versions: dict) -> str:
@@ -260,8 +273,11 @@ class ModelRegistry:
         comes back compiled — plans rebuilt from the persisted options, the
         lowered path active by default.
         """
-        model, metadata = self._load_entry(self.entry(dataset, version))
+        entry = self.entry(dataset, version)
+        model, metadata = self._load_entry(entry)
         estimator = DuetEstimator(model)
+        estimator.model_version = entry.version
+        estimator.data_version = entry.data_version
         payload = metadata.get("compile_options")
         if payload is not None:
             estimator.compile(PlanOptions.from_dict(payload))
@@ -293,7 +309,8 @@ class ModelRegistry:
                              directory=self.root / dataset / version,
                              created_at=record["created_at"],
                              num_parameters=record["num_parameters"],
-                             metadata=record["metadata"])
+                             metadata=record["metadata"],
+                             data_version=record.get("data_version"))
 
     def __contains__(self, dataset: str) -> bool:
         return dataset in self._read_manifest()["datasets"]

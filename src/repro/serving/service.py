@@ -15,10 +15,19 @@ One :class:`EstimationService` wraps one :class:`~repro.core.CardinalityEstimato
 The service is thread-safe and meant to be shared across worker threads —
 the usage pattern of a query optimizer asking for cardinalities while
 planning many queries at once.
+
+When the underlying data is mutable (a :class:`~repro.data.ColumnStore`),
+the service also owns the staleness side of the lifecycle: it knows which
+``data_version`` the served model was trained on, reports how many rows have
+been appended since (:meth:`EstimationService.staleness`), and can
+:meth:`~EstimationService.refresh` itself — incremental fine-tune on the
+delta, re-register the model, hot-swap the compiled plan, and flush the
+estimate cache, all while the old plan keeps serving traffic.
 """
 
 from __future__ import annotations
 
+import threading
 import time
 from typing import Sequence
 
@@ -26,11 +35,13 @@ import numpy as np
 
 from ..core.config import ServingConfig
 from ..core.interface import CardinalityEstimator
+from ..core.trainer import DuetTrainer
+from ..data.store import ColumnStore
 from ..nn import PlanOptions
 from ..workload.query import Query
 from .batcher import BatcherStats, MicroBatcher
 from .cache import EstimateCache, QueryKeyEncoder
-from .registry import ModelRegistry
+from .registry import ModelRegistry, RegistryEntry
 from .stats import ServiceStats, StatsSnapshot
 
 __all__ = ["EstimationService"]
@@ -40,20 +51,52 @@ class EstimationService:
     """Concurrent, cached, micro-batched frontend over one estimator."""
 
     def __init__(self, estimator: CardinalityEstimator,
-                 config: ServingConfig | None = None) -> None:
+                 config: ServingConfig | None = None,
+                 *,
+                 store: ColumnStore | None = None,
+                 registry: ModelRegistry | None = None,
+                 dataset: str | None = None) -> None:
         self.estimator = estimator
         self.config = config or ServingConfig()
-        self._keys = QueryKeyEncoder(estimator.table)
+        # Data lifecycle wiring: the live store (for staleness/refresh), the
+        # registry to re-register refreshed models into, and the dataset name
+        # the registry files them under.  A Snapshot-backed estimator brings
+        # its own store; everything else defaults to static-data behaviour.
+        self.store = store if store is not None else getattr(estimator.table,
+                                                             "store", None)
+        self.registry = registry
+        self.dataset = dataset or estimator.table.name
+        self.model_version: str | None = getattr(estimator, "model_version", None)
+        self.data_version: int | None = getattr(estimator, "data_version", None)
+        if self.data_version is None:
+            self.data_version = getattr(estimator.table, "data_version", None)
+        self._keys = QueryKeyEncoder(estimator.table, namespace=self._namespace())
         self.cache = EstimateCache(self.config.cache_capacity)
         self.stats = ServiceStats(latency_window=self.config.latency_window)
-        # Compiled fast path: lower the model into a plan for this service
-        # (reusing the estimator's own plan when the options match; the
-        # estimator's default path is never mutated).  All passes funnel
-        # through the single batcher thread, so plan buffers are reused
-        # batch after batch.  ``compiled=False`` pins the tape path even
-        # when the estimator itself was compiled (e.g. by a registry load),
-        # so the mode really is one-tape-pass-per-batch.
-        self._timed_runner = estimator.estimate_batch_timed
+        self._timed_runner = self._build_runner()
+        self._refresh_lock = threading.Lock()
+        self._batcher: MicroBatcher | None = None
+        if self.config.micro_batching:
+            self._batcher = MicroBatcher(self._run_batch,
+                                         max_batch_size=self.config.max_batch_size,
+                                         max_wait_ms=self.config.max_wait_ms)
+
+    def _namespace(self) -> tuple:
+        """Cache-key scope: estimates are only valid for this identity."""
+        return (self.dataset, self.model_version, self.data_version)
+
+    def _build_runner(self):
+        """Select the batch runner for the current model weights.
+
+        Compiled fast path: lower the model into a plan for this service
+        (reusing the estimator's own plan when the options match; the
+        estimator's default path is never mutated).  All passes funnel
+        through the single batcher thread, so plan buffers are reused
+        batch after batch.  ``compiled=False`` pins the tape path even
+        when the estimator itself was compiled (e.g. by a registry load),
+        so the mode really is one-tape-pass-per-batch.
+        """
+        estimator = self.estimator
         if self.config.compiled:
             factory = getattr(estimator, "timed_batch_runner", None)
             if factory is not None:
@@ -64,25 +107,28 @@ class EstimationService:
                     # let the runner share the estimator's existing plan.
                     persisted = getattr(estimator, "compile_options", None)
                     dtype = persisted.dtype if persisted is not None else "float64"
-                self._timed_runner = factory(PlanOptions(dtype=dtype))
+                return factory(PlanOptions(dtype=dtype))
         else:
             tape_factory = getattr(estimator, "tape_batch_runner", None)
             if tape_factory is not None:
-                self._timed_runner = tape_factory()
-        self._batcher: MicroBatcher | None = None
-        if self.config.micro_batching:
-            self._batcher = MicroBatcher(self._run_batch,
-                                         max_batch_size=self.config.max_batch_size,
-                                         max_wait_ms=self.config.max_wait_ms)
+                return tape_factory()
+        return estimator.estimate_batch_timed
 
     @classmethod
     def from_registry(cls, registry: ModelRegistry | str, dataset: str,
                       version: str | None = None,
-                      config: ServingConfig | None = None) -> "EstimationService":
-        """Start a service from a saved model: registry path + dataset name."""
+                      config: ServingConfig | None = None,
+                      store: ColumnStore | None = None) -> "EstimationService":
+        """Start a service from a saved model: registry path + dataset name.
+
+        Passing the live ``store`` the dataset is ingested into arms the
+        staleness/refresh lifecycle; the registry is kept attached so
+        :meth:`refresh` re-registers fine-tuned models under new versions.
+        """
         if not isinstance(registry, ModelRegistry):
             registry = ModelRegistry(registry)
-        return cls(registry.load_estimator(dataset, version), config)
+        return cls(registry.load_estimator(dataset, version), config,
+                   store=store, registry=registry, dataset=dataset)
 
     # ------------------------------------------------------------------
     # Request paths
@@ -141,6 +187,89 @@ class EstimationService:
         estimates, _ = self._timed_runner(queries)
         self.stats.record_batch(len(queries))
         return estimates
+
+    # ------------------------------------------------------------------
+    # Data lifecycle: staleness and refresh
+    # ------------------------------------------------------------------
+    def staleness(self) -> int:
+        """Rows appended to the store since the served model was trained.
+
+        ``0`` for a service without a live store (static data can't go
+        stale).  A model with no recorded ``data_version`` is counted as
+        trained on the empty store: every current row is stale.
+        """
+        if self.store is None:
+            return 0
+        return self.store.rows_since(self.data_version or 0)
+
+    def refresh(self, *, epochs: int | None = None,
+                replay_fraction: float | None = None,
+                version: str | None = None) -> RegistryEntry | None:
+        """Absorb appended data: fine-tune, re-register, hot-swap, invalidate.
+
+        Runs :meth:`DuetTrainer.fine_tune` over the delta between the served
+        model's ``data_version`` and the store's current snapshot.  The
+        fine-tune happens on a parameter *clone*, so concurrent traffic —
+        compiled or tape path — keeps reading the untouched original until
+        the single attribute swap at the end; then the serving plan is
+        recompiled from the tuned weights, the estimate cache is re-keyed
+        and flushed, and — when a registry is attached — the refreshed
+        model is registered under a new version carrying the new
+        ``data_version``.
+
+        Returns the new :class:`RegistryEntry` (``None`` when nothing was
+        appended, or when no registry is attached).  Raises
+        :class:`~repro.data.DomainGrowthError` when an append grew a
+        column's domain — that case needs a cold train, which no amount of
+        fine-tuning can replace.
+        """
+        if self.store is None:
+            raise RuntimeError(
+                "refresh() needs a live ColumnStore; construct the service "
+                "with store=... (or an estimator over a Snapshot)")
+        model = getattr(self.estimator, "model", None)
+        if model is None:
+            raise RuntimeError(
+                f"estimator {self.estimator.name!r} has no trainable model; "
+                f"refresh() supports Duet estimators")
+        with self._refresh_lock:
+            snapshot = self.store.snapshot()
+            delta = self.store.delta(self.data_version or 0)
+            if delta.appended_rows == 0 and not delta.domains_grew:
+                return None
+            # Tune a clone so in-flight requests keep reading the original
+            # weights; clone() raises the typed DomainGrowthError when the
+            # append grew a domain.
+            tuned = model.clone(snapshot)
+            DuetTrainer.fine_tune(
+                snapshot, tuned, delta,
+                epochs=epochs if epochs is not None else self.config.refresh_epochs,
+                replay_fraction=(replay_fraction if replay_fraction is not None
+                                 else self.config.replay_fraction))
+            entry = None
+            if self.registry is not None:
+                entry = self.registry.save(
+                    tuned, self.dataset, version=version,
+                    metadata={"fine_tuned_from": self.model_version,
+                              "base_data_version": delta.base_version},
+                    compile_options=getattr(self.estimator, "compile_options", None),
+                    data_version=snapshot.data_version)
+                self.model_version = entry.version
+            # Hot swap: one attribute assignment flips the tape path to the
+            # tuned weights; the compiled plan is then rebuilt from them,
+            # and the cache is re-keyed before dropping the stale entries.
+            self.estimator.model = tuned
+            self.estimator.table = tuned.table
+            self.estimator.data_version = snapshot.data_version
+            if entry is not None:
+                self.estimator.model_version = entry.version
+            if getattr(self.estimator, "compiled", False):
+                self.estimator.compile(self.estimator.compile_options)
+            self.data_version = snapshot.data_version
+            self._timed_runner = self._build_runner()
+            self._keys = QueryKeyEncoder(tuned.table, namespace=self._namespace())
+            self.cache.clear()
+            return entry
 
     # ------------------------------------------------------------------
     # Introspection and lifecycle

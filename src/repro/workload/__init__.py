@@ -1,6 +1,12 @@
 """Query and workload substrate: predicates, queries, ground truth, generators."""
 
-from .executor import cardinality, execute, selectivity, true_cardinalities
+from .executor import (
+    cardinality,
+    execute,
+    selectivity,
+    true_cardinalities,
+    true_cardinalities_delta,
+)
 from .generator import (
     WorkloadConfig,
     WorkloadGenerator,
@@ -21,6 +27,7 @@ __all__ = [
     "cardinality",
     "selectivity",
     "true_cardinalities",
+    "true_cardinalities_delta",
     "WorkloadConfig",
     "WorkloadGenerator",
     "make_random_workload",

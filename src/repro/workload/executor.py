@@ -12,10 +12,12 @@ from typing import Sequence
 
 import numpy as np
 
+from ..data.store import TableDelta
 from ..data.table import Table
 from .query import Query
 
-__all__ = ["execute", "cardinality", "selectivity", "true_cardinalities"]
+__all__ = ["execute", "cardinality", "selectivity", "true_cardinalities",
+           "true_cardinalities_delta"]
 
 
 def _require_data(table: Table) -> None:
@@ -113,6 +115,40 @@ def true_cardinalities(table: Table, queries: Sequence[Query],
             counts[start:stop] = mask.sum(axis=1)
     counts[unsatisfiable] = 0
     return counts
+
+
+def true_cardinalities_delta(delta: TableDelta, queries: Sequence[Query],
+                             base_counts: np.ndarray,
+                             chunk_size: int = 32) -> np.ndarray:
+    """Relabel a workload after an append by scanning only the appended rows.
+
+    ``base_counts`` must be the exact counts of ``queries`` on the delta's
+    base snapshot (``true_cardinalities(base_snapshot, queries)``).  Counts
+    are additive over disjoint row sets and predicates compare *raw* values
+    (dictionary growth re-codes rows but never changes which rows satisfy a
+    predicate), so labeling the appended chunk with the same vectorised
+    kernel and adding matches a full rescan of the new snapshot bit-for-bit.
+
+    The one case that breaks value semantics is a dtype *promotion* (e.g. a
+    numeric column turned into strings by a later append): string comparison
+    orders differently, so base counts are no longer reusable and this
+    function refuses with a :class:`ValueError`.
+    """
+    queries = list(queries)
+    base_counts = np.asarray(base_counts, dtype=np.int64)
+    if base_counts.shape != (len(queries),):
+        raise ValueError(
+            f"base_counts has shape {base_counts.shape} but {len(queries)} "
+            f"queries were given")
+    if delta.promoted_columns:
+        raise ValueError(
+            f"columns {list(delta.promoted_columns)} changed dtype between the "
+            f"base and new snapshots; base counts are not reusable — relabel "
+            f"with true_cardinalities on the new snapshot")
+    if delta.appended_rows == 0:
+        return base_counts.copy()
+    return base_counts + true_cardinalities(delta.appended, queries,
+                                            chunk_size=chunk_size)
 
 
 def _interval_index(table: Table, queries: Sequence[Query]

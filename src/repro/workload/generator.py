@@ -22,11 +22,10 @@ the MPSN experiments (Table I).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 
-from ..data.column import Column
 from ..data.table import Table
 from .predicates import Operator, Predicate
 from .query import Query

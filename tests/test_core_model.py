@@ -13,7 +13,7 @@ from repro.core import (
     build_mpsn,
 )
 from repro.core.mpsn import MLPMPSN, RecursiveMPSN, RNNMPSN
-from repro.data import Table, make_census
+from repro.data import Table
 from repro.nn import Tensor
 from repro.workload import (
     Query,

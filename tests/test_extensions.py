@@ -19,7 +19,7 @@ from repro.core import (
     conjoin,
     estimate_disjunction,
 )
-from repro.data import Table, make_census
+from repro.data import Table
 from repro.workload import Operator, Query, Workload, cardinality, execute, make_inworkload
 
 

@@ -19,7 +19,7 @@ from repro.baselines import (
 )
 from repro.core import DuetConfig, DuetEstimator, DuetModel, DuetTrainer
 from repro.core.virtual_table import VirtualTableSampler
-from repro.data import Column, Table, make_census
+from repro.data import Table
 from repro.workload import Operator, Predicate, Query, Workload, make_random_workload
 
 

@@ -10,7 +10,7 @@ import pytest
 
 from repro import nn
 from repro.baselines import IndependenceEstimator, NaruEstimator
-from repro.core import DuetConfig, DuetEstimator, DuetModel, DuetTrainer
+from repro.core import DuetConfig, DuetEstimator, DuetModel
 from repro.data import make_census, make_kddcup98
 from repro.eval import evaluate_estimator, qerror, train_duet
 from repro.workload import Query, Workload, cardinality, make_inworkload, make_random_workload

@@ -1,0 +1,299 @@
+"""Tests of the mutable data lifecycle substrate (:mod:`repro.data.store`).
+
+Covers the chunked column store: append fast path vs dictionary growth with
+stable code remapping, snapshot immutability across later appends, version
+bookkeeping, deltas, dtype promotion, streaming CSV ingest, and the
+zero-row / domain-growth / out-of-range edge cases the lifecycle exposes.
+"""
+
+import numpy as np
+import pytest
+
+from repro.data import Column, ColumnStore, Snapshot, Table, load_csv
+from repro.workload import (
+    Query,
+    cardinality,
+    execute,
+    make_random_workload,
+    true_cardinalities,
+    true_cardinalities_delta,
+)
+
+
+@pytest.fixture()
+def base_table() -> Table:
+    rng = np.random.default_rng(1)
+    return Table.from_dict("base", {
+        "a": rng.integers(0, 30, size=300),
+        "b": rng.choice(["x", "y", "z"], size=300),
+    })
+
+
+# ----------------------------------------------------------------------
+# ColumnStore basics
+# ----------------------------------------------------------------------
+class TestColumnStore:
+    def test_from_table_round_trips(self, base_table):
+        store = ColumnStore.from_table(base_table)
+        snapshot = store.snapshot()
+        assert isinstance(snapshot, Snapshot)
+        assert snapshot.data_version == 1 and store.data_version == 1
+        assert snapshot.store is store
+        np.testing.assert_array_equal(snapshot.code_matrix(),
+                                      base_table.code_matrix())
+        assert snapshot.column_names == base_table.column_names
+
+    def test_snapshots_are_cached_per_version(self, base_table):
+        store = ColumnStore.from_table(base_table)
+        assert store.snapshot() is store.snapshot()
+        store.append({"a": [1], "b": ["x"]})
+        assert store.snapshot().data_version == 2
+
+    def test_fast_path_append_preserves_domains(self, base_table):
+        store = ColumnStore.from_table(base_table)
+        before = store.snapshot()
+        after = store.append({"a": [5, 7], "b": ["x", "z"]})
+        assert after.data_version == 2
+        assert after.num_rows == base_table.num_rows + 2
+        for name in after.column_names:
+            np.testing.assert_array_equal(after.column(name).distinct_values,
+                                          before.column(name).distinct_values)
+        # Appended rows decode back to the raw values that went in.
+        assert after.row(after.num_rows - 2) == [5, "x"]
+        assert after.row(after.num_rows - 1) == [7, "z"]
+
+    def test_growth_append_remaps_codes_stably(self):
+        store = ColumnStore.from_dict("t", {"a": [10, 30, 30, 50]})
+        first = store.snapshot()
+        # 20 lands in the middle of the domain: codes of 30/50 must shift.
+        second = store.append({"a": [20, 20, 60]})
+        assert list(second.column("a").distinct_values) == [10, 20, 30, 50, 60]
+        # Every original row still decodes to its original raw value.
+        for row in range(first.num_rows):
+            assert second.row(row) == first.row(row)
+        assert [second.row(index)[0] for index in range(4, 7)] == [20, 20, 60]
+
+    def test_snapshot_immutability_across_growth(self, base_table):
+        store = ColumnStore.from_table(base_table)
+        old = store.snapshot()
+        old_codes = old.column("a").codes.copy()
+        old_domain = old.column("a").distinct_values.copy()
+        store.append({"a": [-5, 1000], "b": ["new", "w"]})
+        np.testing.assert_array_equal(old.column("a").codes, old_codes)
+        np.testing.assert_array_equal(old.column("a").distinct_values, old_domain)
+        # And the old snapshot still answers queries identically.
+        query = Query.from_triples([("a", ">=", 10)])
+        assert cardinality(old, query) == int(
+            (base_table.column("a").distinct_values[base_table.column("a").codes]
+             >= 10).sum())
+
+    def test_empty_store_and_zero_row_append(self):
+        store = ColumnStore("empty", ["a", "b"])
+        snapshot = store.snapshot()
+        assert snapshot.num_rows == 0 and snapshot.data_version == 0
+        # Appending zero rows is a no-op, not a version bump.
+        assert store.append({"a": [], "b": []}).data_version == 0
+        grown = store.append({"a": [1, 2], "b": ["u", "v"]})
+        assert grown.data_version == 1 and grown.num_rows == 2
+
+    def test_append_validates_columns_and_lengths(self, base_table):
+        store = ColumnStore.from_table(base_table)
+        with pytest.raises(KeyError, match="missing"):
+            store.append({"a": [1]})
+        with pytest.raises(KeyError, match="unknown"):
+            store.append({"a": [1], "b": ["x"], "c": [2]})
+        with pytest.raises(ValueError, match="differing lengths"):
+            store.append({"a": [1, 2], "b": ["x"]})
+
+    def test_dtype_promotion_to_strings_remaps(self):
+        store = ColumnStore.from_dict("t", {"a": [2, 10, 9]})
+        promoted = store.append({"a": ["zeta", "2"]})
+        domain = promoted.column("a").distinct_values
+        assert domain.dtype.kind == "U"
+        # Lexicographic order now applies ("10" < "2" < "9" < "zeta").
+        assert list(domain) == ["10", "2", "9", "zeta"]
+        decoded = [promoted.row(index)[0] for index in range(promoted.num_rows)]
+        assert decoded == ["2", "10", "9", "zeta", "2"]
+
+    def test_rows_since_tracks_staleness(self, base_table):
+        store = ColumnStore.from_table(base_table)
+        assert store.rows_since(1) == 0
+        store.append({"a": [1, 2, 3], "b": ["x", "y", "z"]})
+        assert store.rows_since(1) == 3
+        assert store.rows_since(store.data_version) == 0
+        # Unknown versions degrade to "everything is new".
+        assert store.rows_since(99) == store.num_rows
+
+
+# ----------------------------------------------------------------------
+# Deltas and delta-aware labeling
+# ----------------------------------------------------------------------
+class TestTableDelta:
+    def test_delta_contains_only_appended_rows(self, base_table):
+        store = ColumnStore.from_table(base_table)
+        base = store.snapshot()
+        store.append({"a": [3, 4], "b": ["x", "y"]})
+        store.append({"a": [5], "b": ["z"]})
+        delta = store.delta(base)
+        assert delta.base_version == 1 and delta.new_version == 3
+        assert delta.base_rows == base.num_rows
+        assert delta.appended_rows == 3
+        assert not delta.domains_grew
+        decoded = [delta.appended.row(index) for index in range(3)]
+        assert decoded == [[3, "x"], [4, "y"], [5, "z"]]
+
+    def test_delta_flags_grown_columns(self, base_table):
+        store = ColumnStore.from_table(base_table)
+        base = store.snapshot()
+        store.append({"a": [10_000], "b": ["x"]})
+        delta = store.delta(base)
+        assert delta.grown_columns == ("a",)
+        assert delta.domains_grew and not delta.promoted_columns
+
+    def test_delta_labeling_matches_full_rescan(self, base_table):
+        store = ColumnStore.from_table(base_table)
+        base = store.snapshot()
+        workload = make_random_workload(base, num_queries=80, seed=9, label=False)
+        base_counts = true_cardinalities(base, workload.queries)
+        rng = np.random.default_rng(5)
+        # Mix of in-domain values and domain growth.
+        store.append({"a": rng.integers(-10, 50, size=40),
+                      "b": rng.choice(["x", "y", "z", "w"], size=40)})
+        new = store.snapshot()
+        delta = store.delta(base)
+        counts = true_cardinalities_delta(delta, workload.queries, base_counts)
+        np.testing.assert_array_equal(counts,
+                                      true_cardinalities(new, workload.queries))
+
+    def test_delta_labeling_zero_append_is_identity(self, base_table):
+        store = ColumnStore.from_table(base_table)
+        base = store.snapshot()
+        workload = make_random_workload(base, num_queries=10, seed=3, label=False)
+        base_counts = true_cardinalities(base, workload.queries)
+        counts = true_cardinalities_delta(store.delta(base), workload.queries,
+                                          base_counts)
+        np.testing.assert_array_equal(counts, base_counts)
+
+    def test_delta_against_empty_base_never_flags_promotion(self, base_table):
+        """Version 0 recorded placeholder dtypes; a string column must not
+        read as 'promoted' against it — counts over an empty base are
+        trivially reusable."""
+        store = ColumnStore.from_table(base_table)  # column "b" is strings
+        delta = store.delta(0)
+        assert delta.promoted_columns == ()
+        queries = [Query.from_triples([("b", "=", "x")])]
+        counts = true_cardinalities_delta(delta, queries,
+                                          np.zeros(1, dtype=np.int64))
+        np.testing.assert_array_equal(
+            counts, true_cardinalities(store.snapshot(), queries))
+
+    def test_delta_labeling_rejects_promotion_and_bad_shapes(self):
+        store = ColumnStore.from_dict("t", {"a": [1, 2, 3]})
+        base = store.snapshot()
+        queries = [Query.from_triples([("a", ">=", 2)])]
+        base_counts = true_cardinalities(base, queries)
+        with pytest.raises(ValueError, match="shape"):
+            true_cardinalities_delta(store.delta(base), queries,
+                                     np.array([1, 2], dtype=np.int64))
+        store.append({"a": ["text"]})
+        with pytest.raises(ValueError, match="dtype"):
+            true_cardinalities_delta(store.delta(base), queries, base_counts)
+
+
+# ----------------------------------------------------------------------
+# Lifecycle edge cases: zero rows, out-of-range codes
+# ----------------------------------------------------------------------
+class TestEdgeCases:
+    def test_zero_row_table_executes_queries(self):
+        columns = [Column("a", np.array([1, 2, 3]), np.empty(0, dtype=np.int64)),
+                   Column("b", np.array(["x", "y"]), np.empty(0, dtype=np.int64))]
+        table = Table("empty", columns)
+        assert table.num_rows == 0
+        query = Query.from_triples([("a", ">=", 2), ("b", "=", "x")])
+        assert execute(table, query).shape == (0,)
+        assert cardinality(table, query) == 0
+        counts = true_cardinalities(table, [query, Query.from_triples(
+            [("a", "=", 99)])])
+        np.testing.assert_array_equal(counts, [0, 0])
+
+    def test_from_codes_out_of_range_rejected(self):
+        with pytest.raises(ValueError, match="codes out of range"):
+            Column.from_codes("c", [0, 3], num_distinct=3)
+        with pytest.raises(ValueError, match="codes out of range"):
+            Column.from_codes("c", [-1, 0], num_distinct=2)
+        with pytest.raises(ValueError, match="codes out of range"):
+            Column.from_codes("c", [0, 5], distinct_values=np.array([1, 2, 3]))
+
+    def test_from_codes_empty_is_allowed(self):
+        column = Column.from_codes("c", [], num_distinct=4)
+        assert column.num_rows == 0 and column.num_distinct == 4
+
+
+# ----------------------------------------------------------------------
+# Streaming CSV ingest
+# ----------------------------------------------------------------------
+class TestStreamingLoadCsv:
+    @pytest.fixture()
+    def csv_path(self, tmp_path):
+        path = tmp_path / "data.csv"
+        rows = [f"{i % 13},cat{i % 5},{i % 7}" for i in range(180)]
+        # The tail turns the third column non-numeric: the streaming path
+        # must promote earlier (numeric-coerced) chunks to strings.
+        rows += [f"{i % 11},cat{i % 3},tok{i % 4}" for i in range(120)]
+        path.write_text("num,cat,mixed\n" + "\n".join(rows) + "\n")
+        return path
+
+    def test_multi_chunk_load_matches_whole_file(self, csv_path):
+        whole = load_csv(csv_path, chunk_rows=10**9)
+        streamed = load_csv(csv_path, chunk_rows=37)
+        assert streamed.num_rows == whole.num_rows == 300
+        assert streamed.data_version > 1  # several chunks were appended
+        for name in whole.column_names:
+            np.testing.assert_array_equal(
+                whole.column(name).distinct_values.astype(str),
+                streamed.column(name).distinct_values.astype(str))
+            np.testing.assert_array_equal(whole.column(name).codes,
+                                          streamed.column(name).codes)
+
+    def test_peak_buffer_is_bounded_by_chunk_rows(self, csv_path, monkeypatch):
+        import repro.data.csv_loader as loader
+        chunk_sizes = []
+        original = loader._iter_chunks
+
+        def spying_iter(*args, **kwargs):
+            for buffers in original(*args, **kwargs):
+                chunk_sizes.append(len(buffers[0]))
+                yield buffers
+
+        monkeypatch.setattr(loader, "_iter_chunks", spying_iter)
+        load_csv(csv_path, chunk_rows=50)
+        assert max(chunk_sizes) <= 50 and len(chunk_sizes) >= 12  # two passes
+
+    def test_chunking_cannot_rewrite_tokens(self, tmp_path):
+        """A late non-numeric value must not leak numeric reformatting.
+
+        '007' in an early chunk would read back as '7' if the chunk were
+        coerced to integers before the type decision was global.
+        """
+        path = tmp_path / "lossy.csv"
+        tokens = ["007", "01.50", "1e3"] * 20 + ["abc"]
+        path.write_text("t\n" + "\n".join(tokens) + "\n")
+        whole = load_csv(path, chunk_rows=10**9)
+        streamed = load_csv(path, chunk_rows=7)
+        np.testing.assert_array_equal(streamed.column("t").distinct_values,
+                                      whole.column("t").distinct_values)
+        np.testing.assert_array_equal(streamed.column("t").codes,
+                                      whole.column("t").codes)
+        assert set(streamed.column("t").distinct_values) == {
+            "007", "01.50", "1e3", "abc"}
+
+    def test_usecols_and_max_rows_still_work(self, csv_path):
+        snapshot = load_csv(csv_path, usecols=["cat"], max_rows=90, chunk_rows=40)
+        assert snapshot.column_names == ["cat"]
+        assert snapshot.num_rows == 90
+
+    def test_empty_file_raises(self, tmp_path):
+        empty = tmp_path / "empty.csv"
+        empty.write_text("a,b\n")
+        with pytest.raises(ValueError, match="no data rows"):
+            load_csv(empty)
