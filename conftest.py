@@ -1,0 +1,30 @@
+"""Repo-wide pytest configuration.
+
+Registers the ``slow`` marker for long-running lifecycle/soak tests and
+keeps them out of the default (tier-1) run: ``pytest -x -q`` stays fast,
+while the CI ``lifecycle-soak`` job (and anyone debugging the controller)
+opts in with ``--run-slow``.
+"""
+
+import pytest
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--run-slow", action="store_true", default=False,
+        help="run tests marked @pytest.mark.slow (lifecycle soak etc.)")
+
+
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers",
+        "slow: long-running lifecycle/soak test, skipped unless --run-slow")
+
+
+def pytest_collection_modifyitems(config, items):
+    if config.getoption("--run-slow"):
+        return
+    skip_slow = pytest.mark.skip(reason="slow test: pass --run-slow to run")
+    for item in items:
+        if "slow" in item.keywords:
+            item.add_marker(skip_slow)

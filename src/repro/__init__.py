@@ -14,7 +14,10 @@ The package is organised as one sub-package per subsystem:
 * :mod:`repro.eval` — Q-Error metrics, evaluation harness, experiment
   drivers for every table and figure of the paper;
 * :mod:`repro.serving` — online estimation service (model registry,
-  estimate cache, micro-batching scheduler, load-test client).
+  estimate cache, micro-batching scheduler, load-test client);
+* :mod:`repro.lifecycle` — autonomous lifecycle controller (drift
+  monitoring, refresh scheduling with backpressure, cold-train escalation,
+  version retention).
 
 Quickstart::
 
@@ -28,9 +31,9 @@ Quickstart::
     estimator.estimate(workload.Query.from_triples([("age", ">=", 30)]))
 """
 
-from . import baselines, core, data, eval, nn, serving, workload
+from . import baselines, core, data, eval, lifecycle, nn, serving, workload
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
-__all__ = ["baselines", "core", "data", "eval", "nn", "serving", "workload",
-           "__version__"]
+__all__ = ["baselines", "core", "data", "eval", "lifecycle", "nn", "serving",
+           "workload", "__version__"]

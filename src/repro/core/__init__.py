@@ -13,7 +13,14 @@ Public entry points:
 
 from ..data.store import DomainGrowthError
 from .compiled import CompiledDuetModel
-from .config import DuetConfig, MPSNConfig, ServingConfig, dmv_config, small_table_config
+from .config import (
+    DuetConfig,
+    LifecyclePolicy,
+    MPSNConfig,
+    ServingConfig,
+    dmv_config,
+    small_table_config,
+)
 from .disjunction import conjoin, estimate_disjunction
 from .encoding import ColumnPredicateEncoder, QueryCodec, binary_width, resolve_value_strategy
 from .estimator import DuetEstimator, EstimationBreakdown
@@ -27,6 +34,7 @@ __all__ = [
     "DuetConfig",
     "MPSNConfig",
     "ServingConfig",
+    "LifecyclePolicy",
     "dmv_config",
     "small_table_config",
     "QueryCodec",

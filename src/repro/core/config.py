@@ -4,7 +4,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-__all__ = ["DuetConfig", "MPSNConfig", "ServingConfig", "dmv_config", "small_table_config"]
+__all__ = ["DuetConfig", "MPSNConfig", "ServingConfig", "LifecyclePolicy",
+           "dmv_config", "small_table_config"]
 
 _VALID_VALUE_ENCODINGS = ("binary", "onehot", "embedding")
 _VALID_MPSN_KINDS = ("mlp", "rnn", "recursive")
@@ -163,6 +164,122 @@ class ServingConfig:
             raise ValueError("refresh_epochs must be positive")
         if self.replay_fraction < 0:
             raise ValueError("replay_fraction must be non-negative")
+
+
+@dataclass(frozen=True)
+class LifecyclePolicy:
+    """Knobs of the autonomous lifecycle controller (:mod:`repro.lifecycle`).
+
+    The controller watches one :class:`~repro.serving.EstimationService` and
+    decides when the served model should absorb appended data.  Three
+    independent triggers feed the decision (any one of them fires it):
+
+    * ``max_stale_rows`` — absolute number of rows appended since the served
+      model's ``data_version``;
+    * ``max_stale_fraction`` — the same staleness relative to the rows the
+      model was trained on (catches slow drip on small tables and sudden
+      bulk loads on large ones with one knob);
+    * ``qerror_median_threshold`` / ``qerror_drift_factor`` — *observed*
+      accuracy decay on a sliding-window probe set of recently served
+      queries, relabeled incrementally against the live store.  The absolute
+      threshold fires when the probe median Q-Error exceeds it; the drift
+      factor fires when the median exceeds ``factor`` times the baseline
+      recorded right after the last (re)train.  ``None`` disables either.
+
+    Attributes
+    ----------
+    poll_interval_seconds:
+        How often the scheduler's daemon loop re-evaluates the policy.
+    max_stale_rows / max_stale_fraction:
+        Staleness triggers described above.  ``None`` disables either.
+    probe_window:
+        Sliding-window capacity of the drift probe set (served queries are
+        sampled into it at ``probe_sample_rate``).
+    probe_sample_rate:
+        Probability that one served query is recorded into the probe window.
+    min_probe_queries:
+        Q-Error triggers stay silent until the window holds at least this
+        many queries (tiny probe sets make noisy medians).
+    qerror_median_threshold / qerror_drift_factor:
+        Accuracy triggers described above.
+    debounce_polls:
+        Consecutive positive evaluations required before a refresh is
+        actually launched — absorbs append bursts so the controller tunes
+        once at the end instead of per batch.
+    cooldown_seconds:
+        Minimum wall-clock gap between two controller-initiated tunes.
+    refresh_epochs:
+        Fine-tuning epochs per automatic refresh (``None`` defers to
+        :attr:`ServingConfig.refresh_epochs`).
+    cold_train_on_growth:
+        When a refresh fails with a domain-growth error, escalate to a
+        background cold train + swap instead of surfacing the error.
+    cold_train_epochs:
+        Training epochs of an escalated cold train.
+    tune_slice_batches / tune_yield_seconds:
+        Backpressure: the tuning loop sleeps ``tune_yield_seconds`` after
+        every ``tune_slice_batches`` optimiser steps, bounding how long
+        fine-tuning can hold the interpreter away from serving threads.
+        ``0`` disables the yield.
+    keep_model_versions:
+        Registry retention: prune a dataset's versions down to this many
+        after each successful tune (the served version is never pruned).
+        ``None`` keeps everything.
+    trim_store_versions:
+        Store retention: drop per-version metadata made unreachable once no
+        live snapshot references versions that old.
+    """
+
+    poll_interval_seconds: float = 1.0
+    max_stale_rows: int | None = 10_000
+    max_stale_fraction: float | None = 0.10
+    probe_window: int = 256
+    probe_sample_rate: float = 0.1
+    min_probe_queries: int = 16
+    qerror_median_threshold: float | None = None
+    qerror_drift_factor: float | None = 2.0
+    debounce_polls: int = 2
+    cooldown_seconds: float = 30.0
+    refresh_epochs: int | None = None
+    cold_train_on_growth: bool = True
+    cold_train_epochs: int = 4
+    tune_slice_batches: int = 8
+    tune_yield_seconds: float = 0.002
+    keep_model_versions: int | None = 3
+    trim_store_versions: bool = True
+
+    def __post_init__(self) -> None:
+        if self.poll_interval_seconds <= 0:
+            raise ValueError("poll_interval_seconds must be positive")
+        if self.max_stale_rows is not None and self.max_stale_rows <= 0:
+            raise ValueError("max_stale_rows must be positive (or None)")
+        if self.max_stale_fraction is not None and self.max_stale_fraction <= 0:
+            raise ValueError("max_stale_fraction must be positive (or None)")
+        if self.probe_window <= 0:
+            raise ValueError("probe_window must be positive")
+        if not 0.0 <= self.probe_sample_rate <= 1.0:
+            raise ValueError("probe_sample_rate must be in [0, 1]")
+        if self.min_probe_queries <= 0:
+            raise ValueError("min_probe_queries must be positive")
+        if (self.qerror_median_threshold is not None
+                and self.qerror_median_threshold < 1.0):
+            raise ValueError("qerror_median_threshold is a Q-Error, so >= 1")
+        if self.qerror_drift_factor is not None and self.qerror_drift_factor <= 1.0:
+            raise ValueError("qerror_drift_factor must exceed 1 (or be None)")
+        if self.debounce_polls <= 0:
+            raise ValueError("debounce_polls must be positive")
+        if self.cooldown_seconds < 0:
+            raise ValueError("cooldown_seconds must be non-negative")
+        if self.refresh_epochs is not None and self.refresh_epochs <= 0:
+            raise ValueError("refresh_epochs must be positive (or None)")
+        if self.cold_train_epochs <= 0:
+            raise ValueError("cold_train_epochs must be positive")
+        if self.tune_slice_batches <= 0:
+            raise ValueError("tune_slice_batches must be positive")
+        if self.tune_yield_seconds < 0:
+            raise ValueError("tune_yield_seconds must be non-negative")
+        if self.keep_model_versions is not None and self.keep_model_versions < 1:
+            raise ValueError("keep_model_versions must be >= 1 (or None)")
 
 
 def dmv_config(**overrides) -> DuetConfig:

@@ -10,6 +10,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
+from typing import Callable
 
 import numpy as np
 
@@ -91,6 +92,7 @@ class DuetTrainer:
         seed: int | None = None,
         guidance: "PredicateGuidance | None" = None,
         train_rows: np.ndarray | None = None,
+        throttle: "Callable[[], None] | None" = None,
     ) -> None:
         self.model = model
         self.table = table
@@ -107,6 +109,10 @@ class DuetTrainer:
         #: large table is ever gathered into memory
         self.train_row_indices = (np.arange(table.num_rows) if train_rows is None
                                   else np.asarray(train_rows, dtype=np.int64))
+        #: optional backpressure hook called after every optimiser step;
+        #: a background tuner passes one that periodically sleeps so the
+        #: GIL (and with it serving traffic) is never starved for long
+        self.throttle = throttle
         self._codes = table.code_matrix(None if train_rows is None
                                         else self.train_row_indices)
         self._query_arrays = None
@@ -183,6 +189,8 @@ class DuetTrainer:
                 nn.clip_grad_norm(self.model.parameters(), self.config.grad_clip)
             self.optimizer.step()
             tuples_processed += batch_codes.shape[0]
+            if self.throttle is not None:
+                self.throttle()
 
         duration = time.perf_counter() - started
         evaluation = None
@@ -218,6 +226,7 @@ class DuetTrainer:
         epochs: int = 1,
         replay_fraction: float = 0.25,
         seed: int | None = None,
+        throttle: "Callable[[], None] | None" = None,
     ) -> tuple["DuetTrainer", TrainingHistory]:
         """Refresh ``base_model`` on appended data instead of retraining.
 
@@ -251,7 +260,8 @@ class DuetTrainer:
                                     if seed is None else seed)
         replay = rng.choice(base_rows, size=replay_count, replace=False)
         trainer = cls(base_model, snapshot, training_workload, config, seed=seed,
-                      train_rows=np.concatenate([appended, replay]))
+                      train_rows=np.concatenate([appended, replay]),
+                      throttle=throttle)
         history = trainer.train(epochs)
         return trainer, history
 

@@ -31,6 +31,7 @@ snapshots.
 from __future__ import annotations
 
 import threading
+import weakref
 from dataclasses import dataclass
 from typing import Iterable, Mapping, Sequence
 
@@ -168,6 +169,11 @@ class ColumnStore:
                             dtype_kinds=tuple("i" for _ in names)),
         }
         self._snapshot_cache: dict[int, Snapshot] = {}
+        # Every snapshot ever handed out, tracked weakly: entries disappear
+        # as callers drop their snapshots, which is what makes a version
+        # "unreachable" for trim_versions().
+        self._live_snapshots: "weakref.WeakValueDictionary[int, Snapshot]" = (
+            weakref.WeakValueDictionary())
 
     # ------------------------------------------------------------------
     # Constructors
@@ -207,6 +213,51 @@ class ColumnStore:
     def data_version(self) -> int:
         with self._lock:
             return self._data_version
+
+    @property
+    def tracked_versions(self) -> list[int]:
+        """Versions whose per-version metadata is still retained."""
+        with self._lock:
+            return sorted(self._versions)
+
+    def oldest_live_version(self) -> int:
+        """The oldest version some caller still holds a :class:`Snapshot` of.
+
+        Falls back to the current version when no snapshot is live — then
+        nothing older than "now" can ever be asked for again.
+        """
+        with self._lock:
+            live = [version for version in self._live_snapshots]
+            return min(live, default=self._data_version)
+
+    def trim_versions(self, before: int | None = None) -> int:
+        """Drop per-version metadata for unreachable old versions.
+
+        Every append publishes a :class:`_VersionInfo` so staleness and
+        deltas can be answered against any historical base — which grows
+        forever on a long-lived store.  Versions below the oldest *live*
+        snapshot and below ``before`` are dropped.  Liveness only tracks
+        :class:`Snapshot` objects: a caller that remembers a version as a
+        plain int (e.g. a service whose model came from a registry) must
+        pass it as ``before`` to keep it answerable.  Version 0 (the empty
+        store) and the current version always survive; asking about a
+        trimmed version later degrades to the documented unknown-base
+        behaviour (everything counts as appended) instead of failing.
+
+        Returns the number of versions trimmed.
+        """
+        with self._lock:
+            limit = min(v for v in (
+                self.oldest_live_version(),
+                self._data_version,
+                before if before is not None else self._data_version,
+            ))
+            stale = [version for version in self._versions
+                     if 0 < version < limit]
+            for version in stale:
+                del self._versions[version]
+                self._snapshot_cache.pop(version, None)
+            return len(stale)
 
     def rows_since(self, base_version: int) -> int:
         """Rows appended after ``base_version`` (staleness of that version).
@@ -346,6 +397,7 @@ class ColumnStore:
             ]
             snapshot = Snapshot(self.name, columns, version, store=self)
             self._snapshot_cache[version] = snapshot
+            self._live_snapshots[version] = snapshot
             return snapshot
 
     @staticmethod

@@ -24,7 +24,7 @@ from .harness import (
     evaluate_service,
     train_duet,
 )
-from .loadgen import LoadReport, run_load_test
+from .loadgen import LoadReport, SoakReport, run_load_test, run_soak
 from .metrics import QErrorSummary, qerror, summarize_qerrors
 from .reporting import (
     cumulative_distribution,
@@ -49,6 +49,8 @@ __all__ = [
     "train_duet",
     "LoadReport",
     "run_load_test",
+    "SoakReport",
+    "run_soak",
     "SmokeScale",
     "figure3_loss_mapping",
     "figure4_workload_distribution",

@@ -20,7 +20,7 @@ import numpy as np
 from ..serving.service import EstimationService
 from ..workload.workload import Workload
 
-__all__ = ["LoadReport", "run_load_test"]
+__all__ = ["LoadReport", "run_load_test", "SoakReport", "run_soak"]
 
 
 @dataclass(frozen=True)
@@ -117,4 +117,121 @@ def run_load_test(service: EstimationService, workload: Workload,
         cache_hit_rate=hits / lookups if lookups else 0.0,
         mean_batch_size=batched / forward_passes if forward_passes else 0.0,
         forward_passes=forward_passes,
+    )
+
+
+@dataclass(frozen=True)
+class SoakReport:
+    """Result of one lifecycle soak: traffic + appends + autonomous tuning."""
+
+    duration_seconds: float
+    num_requests: int
+    errors: int
+    qps: float
+    appends_applied: int
+    append_errors: int
+    model_swaps: int
+    refreshes: int
+    cold_trains: int
+    final_staleness: int
+    final_data_version: int | None
+    event_counts: dict
+
+    def __str__(self) -> str:
+        appends = (f"{self.appends_applied} appends"
+                   if not self.append_errors
+                   else f"{self.appends_applied} appends "
+                        f"({self.append_errors} failed)")
+        return (f"soak {self.duration_seconds:.1f}s: {self.num_requests} requests "
+                f"({self.qps:.0f} qps, {self.errors} errors), "
+                f"{appends}, {self.refreshes} refreshes, "
+                f"{self.cold_trains} cold trains, "
+                f"final staleness {self.final_staleness} rows")
+
+
+def run_soak(service: EstimationService, workload: Workload, *,
+             duration_seconds: float, concurrency: int = 4,
+             appends=(), scheduler=None, seed: int = 0) -> SoakReport:
+    """Serve continuous traffic while the data mutates underneath.
+
+    The lifecycle-aware counterpart of :func:`run_load_test`: worker threads
+    issue ``estimate()`` requests sampled from ``workload`` for
+    ``duration_seconds`` while a driver thread applies ``appends`` — a
+    sequence of ``(at_seconds, apply)`` pairs whose ``apply()`` callables
+    mutate the service's store (skewed batches, domain-growing batches, …)
+    at the given offsets.  A running :class:`~repro.lifecycle.RefreshScheduler`
+    (pass it as ``scheduler`` so its event counters land in the report) is
+    expected to absorb the mutations autonomously; the report's ``errors``
+    field is the acceptance signal — an autonomous swap must never fail a
+    request.
+    """
+    if duration_seconds <= 0:
+        raise ValueError("duration_seconds must be positive")
+    if concurrency <= 0:
+        raise ValueError("concurrency must be positive")
+    if len(workload) == 0:
+        raise ValueError("cannot soak with an empty workload")
+
+    schedule = sorted(appends, key=lambda pair: pair[0])
+    stop = threading.Event()
+    counts = [0] * concurrency
+    errors = [0] * concurrency
+    applied = [0]
+    before = service.snapshot()
+
+    def worker(worker_index: int) -> None:
+        rng = np.random.default_rng(seed + worker_index)
+        while not stop.is_set():
+            query = workload.queries[int(rng.integers(0, len(workload)))]
+            try:
+                service.estimate(query)
+            except Exception:  # noqa: BLE001 — count, keep the soak going
+                errors[worker_index] += 1
+            counts[worker_index] += 1
+
+    append_errors = [0]
+
+    def driver(started_at: float) -> None:
+        for at_seconds, apply in schedule:
+            delay = started_at + at_seconds - time.perf_counter()
+            if delay > 0 and stop.wait(delay):
+                return
+            try:
+                apply()
+            except Exception:  # noqa: BLE001 — one bad append must not
+                append_errors[0] += 1  # silently cancel the rest
+            else:
+                applied[0] += 1
+
+    threads = [threading.Thread(target=worker, args=(index,), daemon=True)
+               for index in range(concurrency)]
+    started = time.perf_counter()
+    for thread in threads:
+        thread.start()
+    driver_thread = threading.Thread(target=driver, args=(started,), daemon=True)
+    driver_thread.start()
+    stop.wait(duration_seconds)
+    stop.set()
+    for thread in threads:
+        thread.join(timeout=10.0)
+    driver_thread.join(timeout=10.0)
+    elapsed = max(time.perf_counter() - started, 1e-9)
+
+    after = service.snapshot()
+    event_counts = scheduler.events.counts() if scheduler is not None else {}
+    return SoakReport(
+        duration_seconds=elapsed,
+        num_requests=sum(counts),
+        errors=sum(errors),
+        qps=sum(counts) / elapsed,
+        appends_applied=applied[0],
+        append_errors=append_errors[0],
+        model_swaps=after.model_swaps - before.model_swaps,
+        refreshes=event_counts.get("refresh", 0),
+        cold_trains=sum(1 for event in (scheduler.events.events("cold_train")
+                                        if scheduler is not None else ())
+                        if event.details.get("status") == "swapped"),
+        final_staleness=service.staleness(),
+        final_data_version=service.data_version,
+        event_counts=event_counts,
     )

@@ -1,0 +1,51 @@
+"""Autonomous lifecycle controller: the control plane over store → serving.
+
+PR 3 made the data mutable and the model refreshable; this package makes
+the loop close itself.  Four cooperating parts:
+
+* :class:`DriftMonitor` — taps the served query stream into a sliding-window
+  probe set, relabels it incrementally against the live store, and combines
+  observed Q-Error drift with staleness thresholds into a typed
+  :class:`RefreshDecision`;
+* :class:`RefreshScheduler` — a daemon-thread policy loop with debounce,
+  cooldown, and backpressure (at most one tune in flight; tuning yields to
+  serving in bounded batch slices) that drives
+  :meth:`~repro.serving.EstimationService.refresh`;
+* cold-train escalation (:func:`cold_train_and_swap`) — when a refresh hits
+  a :class:`~repro.data.DomainGrowthError`, a fresh model is trained on the
+  new snapshot in the background and swapped in atomically;
+* :class:`RetentionPolicy` — prunes superseded registry versions and trims
+  unreachable store version metadata after every successful tune.
+
+Everything the controller does lands in a structured :class:`EventLog`.
+All knobs live in :class:`~repro.core.LifecyclePolicy`.
+
+Quickstart::
+
+    from repro.core import LifecyclePolicy
+    from repro.lifecycle import RefreshScheduler
+
+    policy = LifecyclePolicy(max_stale_fraction=0.2, cooldown_seconds=60)
+    with RefreshScheduler(service, policy):   # service has store + registry
+        serve_traffic(service)                # refreshes happen on their own
+"""
+
+from .coldtrain import ColdTrainResult, cold_train_and_swap, start_cold_train
+from .events import EventLog, LifecycleEvent
+from .monitor import DriftMetrics, DriftMonitor, RefreshDecision
+from .retention import RetentionPolicy, RetentionReport
+from .scheduler import RefreshScheduler
+
+__all__ = [
+    "LifecycleEvent",
+    "EventLog",
+    "DriftMetrics",
+    "RefreshDecision",
+    "DriftMonitor",
+    "RefreshScheduler",
+    "ColdTrainResult",
+    "cold_train_and_swap",
+    "start_cold_train",
+    "RetentionPolicy",
+    "RetentionReport",
+]

@@ -1,0 +1,98 @@
+"""Structured event log of the lifecycle controller.
+
+Every decision the control plane takes — evaluate, refresh, cold-train
+escalation, retention sweep, failure — is recorded as one immutable
+:class:`LifecycleEvent` in a bounded, thread-safe :class:`EventLog`.  The
+log is the controller's observable surface: tests assert on it, the soak
+report aggregates it, and an operator reads it instead of grepping stdout.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import Counter, deque
+from dataclasses import dataclass, field
+from typing import Iterable
+
+__all__ = ["LifecycleEvent", "EventLog"]
+
+#: event kinds the controller emits (kept as plain strings so the log can
+#: carry future kinds without a schema change; this tuple is the vocabulary
+#: tests and dashboards can rely on)
+EVENT_KINDS = (
+    "decision",      # one policy evaluation (fired or not)
+    "refresh",       # incremental fine-tune + hot-swap completed
+    "cold_train",    # domain growth escalated to a full retrain + swap
+    "retention",     # registry prune and/or store version trim
+    "error",         # a tune failed for a non-escalatable reason
+)
+
+
+@dataclass(frozen=True)
+class LifecycleEvent:
+    """One thing the controller did (or decided not to do)."""
+
+    kind: str
+    timestamp: float
+    details: dict = field(default_factory=dict)
+
+    def __str__(self) -> str:
+        payload = " ".join(f"{key}={value}" for key, value in self.details.items())
+        return f"[{self.kind}] {payload}" if payload else f"[{self.kind}]"
+
+
+class EventLog:
+    """Bounded, thread-safe append-only log of :class:`LifecycleEvent`.
+
+    ``capacity`` bounds memory on a long-running controller: the oldest
+    events fall off, but per-kind *counters* are kept forever so totals
+    (how many refreshes ever ran) survive the window.
+    """
+
+    def __init__(self, capacity: int = 1024) -> None:
+        if capacity <= 0:
+            raise ValueError("event log capacity must be positive")
+        self._lock = threading.Lock()
+        self._events: deque[LifecycleEvent] = deque(maxlen=capacity)
+        self._counts: Counter[str] = Counter()
+
+    # ------------------------------------------------------------------
+    def record(self, kind: str, **details) -> LifecycleEvent:
+        """Append one event; returns it (handy for chaining into returns)."""
+        event = LifecycleEvent(kind=kind, timestamp=time.time(), details=details)
+        with self._lock:
+            self._events.append(event)
+            self._counts[kind] += 1
+        return event
+
+    # ------------------------------------------------------------------
+    def events(self, kind: str | None = None) -> list[LifecycleEvent]:
+        """The retained events, oldest first, optionally filtered by kind."""
+        with self._lock:
+            retained: Iterable[LifecycleEvent] = tuple(self._events)
+        if kind is None:
+            return list(retained)
+        return [event for event in retained if event.kind == kind]
+
+    def last(self, kind: str | None = None) -> LifecycleEvent | None:
+        """The most recent (matching) event, or ``None``."""
+        with self._lock:
+            retained = tuple(self._events)
+        for event in reversed(retained):
+            if kind is None or event.kind == kind:
+                return event
+        return None
+
+    def count(self, kind: str) -> int:
+        """Total events of ``kind`` ever recorded (not just retained)."""
+        with self._lock:
+            return self._counts[kind]
+
+    def counts(self) -> dict[str, int]:
+        with self._lock:
+            return dict(self._counts)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._events)

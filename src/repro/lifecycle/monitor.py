@@ -1,0 +1,232 @@
+"""Drift monitoring: turn the served query stream into refresh decisions.
+
+The :class:`DriftMonitor` taps an :class:`~repro.serving.EstimationService`
+through the observer hook and samples served queries into a sliding-window
+*probe set*.  When asked for a decision it measures two independent things:
+
+* **staleness** — rows appended to the live store since the served model's
+  ``data_version``, absolute and as a fraction of the rows the model was
+  trained on;
+* **observed accuracy** — the probe queries' median Q-Error against fresh
+  ground truth.  Truth is maintained *incrementally*: the monitor keeps the
+  probe counts labeled at some store version and rolls them forward with
+  :func:`~repro.workload.true_cardinalities_delta`, scanning only the rows
+  appended since — the same trick that makes fine-tuning cheap makes
+  monitoring cheap.
+
+Both signals are folded into a typed :class:`RefreshDecision` according to a
+:class:`~repro.core.LifecyclePolicy`; the scheduler acts on it.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.config import LifecyclePolicy
+from ..eval.metrics import qerror
+from ..workload.executor import true_cardinalities, true_cardinalities_delta
+from ..workload.query import Query
+
+__all__ = ["DriftMetrics", "RefreshDecision", "DriftMonitor"]
+
+
+@dataclass(frozen=True)
+class DriftMetrics:
+    """What the monitor measured in one evaluation."""
+
+    data_version: int | None     #: store version the served model was trained on
+    store_version: int           #: live store version at evaluation time
+    stale_rows: int              #: rows appended since ``data_version``
+    trained_rows: int            #: rows the served model was trained on
+    stale_fraction: float        #: ``stale_rows / trained_rows``
+    probe_size: int              #: probe queries the Q-Error was measured over
+    median_qerror: float | None  #: probe median Q-Error (None: probe too small)
+    baseline_qerror: float | None  #: median recorded right after the last tune
+
+
+@dataclass(frozen=True)
+class RefreshDecision:
+    """The monitor's verdict: refresh or not, and why."""
+
+    refresh: bool
+    reasons: tuple[str, ...]
+    metrics: DriftMetrics
+
+    def __bool__(self) -> bool:
+        return self.refresh
+
+    def __str__(self) -> str:
+        verdict = "refresh" if self.refresh else "hold"
+        why = ",".join(self.reasons) if self.reasons else "-"
+        return (f"{verdict}({why}) stale_rows={self.metrics.stale_rows} "
+                f"stale_fraction={self.metrics.stale_fraction:.3f} "
+                f"median_qerror={self.metrics.median_qerror}")
+
+
+@dataclass
+class _ProbeLabels:
+    """Probe ground truth pinned to one store version."""
+
+    version: int
+    queries: tuple[Query, ...]
+    counts: np.ndarray
+
+
+class DriftMonitor:
+    """Samples served queries and folds drift signals into decisions."""
+
+    def __init__(self, service, policy: LifecyclePolicy | None = None,
+                 seed: int = 0) -> None:
+        if service.store is None:
+            raise ValueError(
+                "DriftMonitor needs a service with a live ColumnStore "
+                "(construct the EstimationService with store=...)")
+        self.service = service
+        self.policy = policy or LifecyclePolicy()
+        self._rng = np.random.default_rng(seed)
+        self._lock = threading.Lock()
+        self._window: deque[Query] = deque(maxlen=self.policy.probe_window)
+        self._labels: _ProbeLabels | None = None
+        self._baseline: float | None = None
+
+    # ------------------------------------------------------------------
+    # Query-stream tap
+    # ------------------------------------------------------------------
+    def attach(self) -> "DriftMonitor":
+        """Start sampling the service's query stream; returns ``self``."""
+        self.service.add_observer(self.observe)
+        return self
+
+    def detach(self) -> None:
+        self.service.remove_observer(self.observe)
+
+    def observe(self, query: Query) -> None:
+        """Maybe record one served query into the probe window."""
+        with self._lock:
+            if self._rng.random() <= self.policy.probe_sample_rate:
+                self._window.append(query)
+
+    def seed_probes(self, queries) -> None:
+        """Pre-fill the probe window (bypassing the sampling rate).
+
+        Useful right after startup, before organic traffic has filled the
+        window — drift can then be detected from the first poll.
+        """
+        with self._lock:
+            self._window.extend(queries)
+
+    @property
+    def probe_queries(self) -> tuple[Query, ...]:
+        with self._lock:
+            return tuple(self._window)
+
+    # ------------------------------------------------------------------
+    # Incremental probe labeling
+    # ------------------------------------------------------------------
+    def _labeled_counts(self, probes: tuple[Query, ...]) -> np.ndarray:
+        """Ground-truth counts of ``probes`` at the store's current version.
+
+        Rolls the cached labels forward through the append delta when the
+        probe set is unchanged (one scan of the appended rows); any change
+        of probe set, a trimmed base version, or a dtype promotion falls
+        back to a full labeling of the current snapshot.
+        """
+        store = self.service.store
+        cached = self._labels
+        current = store.data_version
+        if cached is not None and cached.queries == probes:
+            if cached.version == current:
+                return cached.counts
+            delta = store.delta(cached.version)
+            if delta.base_version == cached.version:
+                try:
+                    counts = true_cardinalities_delta(delta, list(probes),
+                                                      cached.counts)
+                    self._labels = _ProbeLabels(current, probes, counts)
+                    return counts
+                except ValueError:
+                    pass  # dtype promotion: base counts not reusable
+        counts = true_cardinalities(store.snapshot(), list(probes))
+        self._labels = _ProbeLabels(current, probes, counts)
+        return counts
+
+    def _probe_median(self, probes: tuple[Query, ...]) -> float | None:
+        """Median probe Q-Error of the currently served plan.
+
+        Uses the service's stats/cache-bypassing
+        :meth:`~repro.serving.EstimationService.probe_batch`, so monitoring
+        neither inflates request counters nor evicts organic cache entries
+        — and never re-enters the observer tap feeding the probe window.
+        """
+        if len(probes) < self.policy.min_probe_queries:
+            return None
+        truth = self._labeled_counts(probes)
+        estimates = self.service.probe_batch(probes)
+        return float(np.median(qerror(estimates, truth)))
+
+    # ------------------------------------------------------------------
+    # Decisions
+    # ------------------------------------------------------------------
+    def evaluate(self) -> DriftMetrics:
+        """Measure staleness and (when the probe set allows) accuracy."""
+        store = self.service.store
+        stale_rows = self.service.staleness()
+        store_version = store.data_version
+        trained_rows = max(store.num_rows - stale_rows, 0)
+        probes = self.probe_queries
+        wants_qerror = (self.policy.qerror_median_threshold is not None
+                        or self.policy.qerror_drift_factor is not None)
+        median = self._probe_median(probes) if wants_qerror else None
+        return DriftMetrics(
+            data_version=self.service.data_version,
+            store_version=store_version,
+            stale_rows=stale_rows,
+            trained_rows=trained_rows,
+            stale_fraction=stale_rows / max(trained_rows, 1),
+            probe_size=len(probes),
+            median_qerror=median,
+            baseline_qerror=self._baseline,
+        )
+
+    def decide(self) -> RefreshDecision:
+        """Fold one evaluation into the typed refresh verdict."""
+        policy = self.policy
+        metrics = self.evaluate()
+        reasons: list[str] = []
+        if metrics.stale_rows > 0:
+            if (policy.max_stale_rows is not None
+                    and metrics.stale_rows >= policy.max_stale_rows):
+                reasons.append("stale_rows")
+            if (policy.max_stale_fraction is not None
+                    and metrics.stale_fraction >= policy.max_stale_fraction):
+                reasons.append("stale_fraction")
+        if metrics.median_qerror is not None:
+            if (policy.qerror_median_threshold is not None
+                    and metrics.median_qerror >= policy.qerror_median_threshold):
+                reasons.append("qerror_threshold")
+            if (policy.qerror_drift_factor is not None
+                    and metrics.baseline_qerror is not None
+                    and metrics.median_qerror
+                    >= policy.qerror_drift_factor * metrics.baseline_qerror):
+                reasons.append("qerror_drift")
+        return RefreshDecision(refresh=bool(reasons), reasons=tuple(reasons),
+                               metrics=metrics)
+
+    def rebase(self) -> float | None:
+        """Record the post-tune accuracy as the new drift baseline.
+
+        Called by the scheduler right after a successful refresh or cold
+        train; the drift-factor trigger then measures decay relative to the
+        freshly tuned model, not some ancient one.
+        """
+        probes = self.probe_queries
+        self._baseline = self._probe_median(probes)
+        return self._baseline
+
+    @property
+    def baseline_qerror(self) -> float | None:
+        return self._baseline

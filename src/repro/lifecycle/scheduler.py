@@ -1,0 +1,268 @@
+"""The refresh scheduler: a daemon-thread policy loop over one service.
+
+This is the autonomous half of the paper's operational claim.  PR 3 made
+models *refreshable* (``EstimationService.refresh()``); this loop makes them
+*refreshed*: it periodically asks the :class:`DriftMonitor` for a
+:class:`~repro.lifecycle.RefreshDecision` and acts on it, with the guard
+rails a production control plane needs:
+
+* **debounce** — a positive decision must hold for ``debounce_polls``
+  consecutive evaluations before a tune starts, so an append burst is
+  absorbed by one tune at the end instead of one per batch;
+* **cooldown** — at least ``cooldown_seconds`` between controller-initiated
+  tunes, bounding training cost under sustained churn;
+* **backpressure** — at most one tune is ever in flight (fine-tune *or*
+  cold train), and the tuning loop yields to serving threads in bounded
+  batch slices (:attr:`LifecyclePolicy.tune_slice_batches` /
+  :attr:`~LifecyclePolicy.tune_yield_seconds`);
+* **escalation** — a refresh failing with
+  :class:`~repro.data.DomainGrowthError` launches a background cold train
+  (:mod:`repro.lifecycle.coldtrain`) that swaps atomically when ready, so
+  domain growth degrades to eventual freshness instead of an exception;
+* **retention** — after every successful tune the
+  :class:`~repro.lifecycle.RetentionPolicy` prunes superseded registry
+  versions and trims unreachable store version metadata.
+
+Every step is recorded in the :class:`~repro.lifecycle.EventLog`; nothing
+the loop does can raise into (or block) the serving path.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+from ..core.config import LifecyclePolicy
+from ..data.store import DomainGrowthError
+from .coldtrain import ColdTrainResult, start_cold_train
+from .events import EventLog, LifecycleEvent
+from .monitor import DriftMonitor, RefreshDecision
+from .retention import RetentionPolicy
+
+__all__ = ["RefreshScheduler"]
+
+
+class RefreshScheduler:
+    """Background control plane keeping one service's model fresh."""
+
+    def __init__(self, service, policy: LifecyclePolicy | None = None,
+                 monitor: DriftMonitor | None = None,
+                 events: EventLog | None = None,
+                 retention: RetentionPolicy | None = None,
+                 seed: int = 0) -> None:
+        self.service = service
+        self.policy = policy or (monitor.policy if monitor is not None
+                                 else LifecyclePolicy())
+        self.monitor = monitor or DriftMonitor(service, self.policy, seed=seed)
+        self.events = events or EventLog()
+        self.retention = retention or RetentionPolicy(self.policy)
+        self._thread: threading.Thread | None = None
+        self._stop = threading.Event()
+        # Backpressure: holders of this lock are "the one tune in flight".
+        self._tune_lock = threading.Lock()
+        self._cold_train: ColdTrainResult | None = None
+        # Serialises cold-train finalisation between the loop thread and
+        # quiesce() callers, so the outcome is folded in exactly once.
+        self._finalise_lock = threading.Lock()
+        self._consecutive_hits = 0
+        self._last_tune_at: float | None = None
+
+    # ------------------------------------------------------------------
+    # Daemon lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def running(self) -> bool:
+        return self._thread is not None and self._thread.is_alive()
+
+    def start(self) -> "RefreshScheduler":
+        """Attach the monitor and start the policy loop; returns ``self``."""
+        if self.running:
+            return self
+        self.monitor.attach()
+        self._stop.clear()
+        self._thread = threading.Thread(target=self._run, daemon=True,
+                                        name="repro-lifecycle-scheduler")
+        self._thread.start()
+        return self
+
+    def stop(self, timeout: float | None = 10.0) -> None:
+        """Stop the loop (an in-flight background cold train keeps running)."""
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join(timeout)
+            self._thread = None
+        self.monitor.detach()
+
+    def __enter__(self) -> "RefreshScheduler":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    def _run(self) -> None:
+        while not self._stop.wait(self.policy.poll_interval_seconds):
+            try:
+                self.poll_once()
+            except Exception as error:  # noqa: BLE001 — the loop must survive
+                self.events.record("error", stage="poll", error=repr(error))
+
+    # ------------------------------------------------------------------
+    # One policy evaluation (also the synchronous test surface)
+    # ------------------------------------------------------------------
+    def poll_once(self) -> LifecycleEvent:
+        """Evaluate the policy once and act on it; returns the decision event."""
+        pending = self._finalise_cold_train()
+        if pending is not None:
+            return pending
+        decision = self.monitor.decide()
+        action = self._action_for(decision)
+        event = self.events.record(
+            "decision", action=action, reasons=list(decision.reasons),
+            stale_rows=decision.metrics.stale_rows,
+            stale_fraction=round(decision.metrics.stale_fraction, 4),
+            median_qerror=decision.metrics.median_qerror,
+            probe_size=decision.metrics.probe_size)
+        if action == "tune":
+            self._execute(decision)
+        return event
+
+    def _action_for(self, decision: RefreshDecision) -> str:
+        if not decision:
+            self._consecutive_hits = 0
+            return "hold"
+        self._consecutive_hits += 1
+        if self._consecutive_hits < self.policy.debounce_polls:
+            return "debounce"
+        if self._in_cooldown():
+            return "cooldown"
+        return "tune"
+
+    def _in_cooldown(self) -> bool:
+        return (self._last_tune_at is not None
+                and time.monotonic() - self._last_tune_at
+                < self.policy.cooldown_seconds)
+
+    # ------------------------------------------------------------------
+    # Acting on a decision
+    # ------------------------------------------------------------------
+    def _execute(self, decision: RefreshDecision) -> None:
+        if not self._tune_lock.acquire(blocking=False):
+            return  # another tune is in flight; the next poll re-evaluates
+        try:
+            started = time.perf_counter()
+            swaps_before = self.service.snapshot().model_swaps
+            try:
+                entry = self.service.refresh(epochs=self.policy.refresh_epochs,
+                                             throttle=self._make_throttle())
+            except DomainGrowthError as error:
+                if not self.policy.cold_train_on_growth:
+                    self.events.record("error", stage="refresh",
+                                       error=repr(error))
+                    return
+                self._cold_train = start_cold_train(
+                    self.service, epochs=self.policy.cold_train_epochs,
+                    throttle=self._make_throttle())
+                self.events.record("cold_train", status="started",
+                                   grown_columns=list(error.columns))
+                return
+            except Exception as error:  # noqa: BLE001 — log, keep serving
+                self.events.record("error", stage="refresh", error=repr(error))
+                return
+            # refresh() returns None both for "tuned, no registry" and for
+            # "nothing to do" (the triggers can fire on pure accuracy decay
+            # with zero staleness); only a real swap earns a refresh event,
+            # a rebased baseline, and a retention sweep.
+            if (entry is None
+                    and self.service.snapshot().model_swaps == swaps_before):
+                self.events.record("decision", action="refresh_noop",
+                                   reasons=list(decision.reasons))
+                return
+            self.events.record(
+                "refresh", reasons=list(decision.reasons),
+                version=entry.version if entry is not None
+                else self.service.model_version,
+                data_version=self.service.data_version,
+                seconds=round(time.perf_counter() - started, 3))
+            self._after_tune()
+        finally:
+            self._consecutive_hits = 0
+            self._last_tune_at = time.monotonic()
+            self._tune_lock.release()
+
+    def _finalise_cold_train(self) -> LifecycleEvent | None:
+        """Bookkeeping for an in-flight escalation; ``None`` when idle.
+
+        While a cold train runs, polling reports instead of tuning (the
+        at-most-one-tune rule); once it lands, record the outcome, rebase
+        the drift baseline onto the new model, and run retention.
+        """
+        with self._finalise_lock:
+            pending = self._cold_train
+            if pending is None:
+                return None
+            if not pending.done:
+                return self.events.record("decision", action="cold_train_pending")
+            self._cold_train = None
+        if pending.error is not None:
+            self._last_tune_at = time.monotonic()
+            return self.events.record("error", stage="cold_train",
+                                      error=repr(pending.error))
+        event = self.events.record(
+            "cold_train", status="swapped",
+            version=pending.entry.version if pending.entry is not None
+            else self.service.model_version,
+            data_version=pending.data_version)
+        self._after_tune()
+        self._last_tune_at = time.monotonic()
+        return event
+
+    def _after_tune(self) -> None:
+        """Post-tune hygiene: rebase drift baseline, apply retention."""
+        try:
+            baseline = self.monitor.rebase()
+        except Exception as error:  # noqa: BLE001 — log, keep serving
+            self.events.record("error", stage="rebase", error=repr(error))
+            baseline = None
+        report = self.retention.apply(self.service)
+        self.events.record(
+            "retention",
+            pruned_model_versions=list(report.pruned_model_versions),
+            trimmed_store_versions=report.trimmed_store_versions,
+            baseline_qerror=baseline)
+
+    def _make_throttle(self):
+        """Backpressure hook for the tuning loop: yield every K steps."""
+        policy = self.policy
+        if policy.tune_yield_seconds <= 0:
+            return None
+        steps = 0
+
+        def throttle() -> None:
+            nonlocal steps
+            steps += 1
+            if steps % policy.tune_slice_batches == 0:
+                time.sleep(policy.tune_yield_seconds)
+
+        return throttle
+
+    # ------------------------------------------------------------------
+    # Introspection / synchronisation
+    # ------------------------------------------------------------------
+    @property
+    def cold_train_in_flight(self) -> bool:
+        return self._cold_train is not None and not self._cold_train.done
+
+    def quiesce(self, timeout: float | None = None) -> bool:
+        """Wait for any in-flight cold train and fold its result in.
+
+        Returns ``True`` when no escalation is pending afterwards.  Used by
+        tests and soak drivers that need a deterministic "controller is
+        idle" point.
+        """
+        pending = self._cold_train
+        if pending is None:
+            return True
+        if not pending.wait(timeout):
+            return False
+        self._finalise_cold_train()
+        return True

@@ -17,9 +17,12 @@ from __future__ import annotations
 import dataclasses
 import json
 import re
+import shutil
+import threading
 import time
 from dataclasses import dataclass
 from pathlib import Path
+from typing import Sequence
 
 import numpy as np
 
@@ -164,6 +167,10 @@ class ModelRegistry:
     def __init__(self, root: str | Path) -> None:
         self.root = Path(root)
         self.root.mkdir(parents=True, exist_ok=True)
+        # Serialises manifest read-modify-write cycles (save vs prune): the
+        # lifecycle controller prunes from its daemon thread while serving
+        # threads may be saving refreshed models into the same registry.
+        self._manifest_lock = threading.Lock()
 
     # ------------------------------------------------------------------
     # Manifest bookkeeping
@@ -204,36 +211,100 @@ class ModelRegistry:
         :class:`~repro.data.Snapshot`); the serving layer compares it
         against the live store to report staleness.
         """
-        manifest = self._read_manifest()
-        entry = manifest["datasets"].setdefault(dataset, {"latest": None, "versions": {}})
-        version = version or self._next_version(entry["versions"])
-        directory = self.root / dataset / version
-        directory.mkdir(parents=True, exist_ok=True)
-        if data_version is None:
-            data_version = getattr(model.table, "data_version", None)
+        with self._manifest_lock:
+            manifest = self._read_manifest()
+            entry = manifest["datasets"].setdefault(dataset,
+                                                    {"latest": None, "versions": {}})
+            version = version or self._next_version(entry["versions"])
+            directory = self.root / dataset / version
+            directory.mkdir(parents=True, exist_ok=True)
+            if data_version is None:
+                data_version = getattr(model.table, "data_version", None)
 
-        model_metadata = {"config": _config_to_dict(model.config),
-                          "dataset": dataset, "version": version,
-                          "data_version": data_version}
-        if compile_options is not None:
-            model_metadata["compile_options"] = compile_options.to_dict()
-        save_module(model, directory / _MODEL_FILE, metadata=model_metadata)
-        TableSchema.from_table(model.table).save(directory / _SCHEMA_FILE)
+            model_metadata = {"config": _config_to_dict(model.config),
+                              "dataset": dataset, "version": version,
+                              "data_version": data_version}
+            if compile_options is not None:
+                model_metadata["compile_options"] = compile_options.to_dict()
+            save_module(model, directory / _MODEL_FILE, metadata=model_metadata)
+            TableSchema.from_table(model.table).save(directory / _SCHEMA_FILE)
 
-        record = {
-            "created_at": time.time(),
-            "num_parameters": model.num_parameters(),
-            "metadata": metadata or {},
-            "data_version": data_version,
-        }
-        entry["versions"][version] = record
-        entry["latest"] = version
-        self._write_manifest(manifest)
-        return RegistryEntry(dataset=dataset, version=version, directory=directory,
-                             created_at=record["created_at"],
-                             num_parameters=record["num_parameters"],
-                             metadata=record["metadata"],
-                             data_version=data_version)
+            record = {
+                "created_at": time.time(),
+                "num_parameters": model.num_parameters(),
+                "metadata": metadata or {},
+                "data_version": data_version,
+            }
+            entry["versions"][version] = record
+            entry["latest"] = version
+            self._write_manifest(manifest)
+            return RegistryEntry(dataset=dataset, version=version, directory=directory,
+                                 created_at=record["created_at"],
+                                 num_parameters=record["num_parameters"],
+                                 metadata=record["metadata"],
+                                 data_version=data_version)
+
+    # ------------------------------------------------------------------
+    # Retention
+    # ------------------------------------------------------------------
+    def prune(self, dataset: str, keep: int = 3,
+              protect: Sequence[str] = ()) -> list[str]:
+        """Trim ``dataset`` down to its ``keep`` newest versions.
+
+        Every refresh appends a version, so a long-running service grows the
+        registry without bound; retention keeps the ``keep`` most recent
+        versions (by creation time, version name breaking ties) and deletes
+        the rest — manifest records first, then the on-disk directories.
+
+        The manifest's ``latest`` version and every version in ``protect``
+        (the serving layer passes the version it currently serves, which
+        after a concurrent save may no longer be the latest) are *never*
+        deleted, whatever ``keep`` says.  After pruning, the manifest is
+        checked for consistency: the surviving ``latest`` must still have
+        both its record and its files, otherwise the prune is aborted before
+        the manifest is rewritten.
+
+        Returns the version names removed (may be empty).
+        """
+        if keep < 1:
+            raise ValueError("prune must keep at least one version")
+        with self._manifest_lock:
+            manifest = self._read_manifest()
+            entry = manifest["datasets"].get(dataset)
+            if entry is None:
+                return []
+            versions = entry["versions"]
+
+            def recency(name: str) -> tuple:
+                # created_at first; same-instant saves (fast refresh loops)
+                # are broken by the numeric version suffix, not
+                # lexicographically.
+                match = _VERSION_PATTERN.match(name)
+                return (versions[name]["created_at"],
+                        int(match.group(1)) if match else -1, name)
+
+            ordered = sorted(versions, key=recency, reverse=True)
+            keepers = set(ordered[:keep])
+            keepers.update(name for name in protect if name in versions)
+            if entry["latest"]:
+                keepers.add(entry["latest"])
+            doomed = [name for name in ordered if name not in keepers]
+            if not doomed:
+                return []
+            # Manifest-consistency check before touching anything: the
+            # served/latest survivor must actually exist on disk.
+            latest = entry["latest"]
+            if latest and not (self.root / dataset / latest / _MODEL_FILE).exists():
+                raise RuntimeError(
+                    f"registry manifest names latest {latest!r} for {dataset!r} "
+                    f"but its files are missing; refusing to prune an "
+                    f"inconsistent registry")
+            for name in doomed:
+                del versions[name]
+            self._write_manifest(manifest)
+        for name in doomed:
+            shutil.rmtree(self.root / dataset / name, ignore_errors=True)
+        return doomed
 
     @staticmethod
     def _next_version(versions: dict) -> str:

@@ -75,6 +75,8 @@ class EstimationService:
         self.stats = ServiceStats(latency_window=self.config.latency_window)
         self._timed_runner = self._build_runner()
         self._refresh_lock = threading.Lock()
+        self._observers: tuple = ()
+        self._observer_lock = threading.Lock()
         self._batcher: MicroBatcher | None = None
         if self.config.micro_batching:
             self._batcher = MicroBatcher(self._run_batch,
@@ -131,12 +133,47 @@ class EstimationService:
                    store=store, registry=registry, dataset=dataset)
 
     # ------------------------------------------------------------------
+    # Observers (lifecycle taps on the served query stream)
+    # ------------------------------------------------------------------
+    def add_observer(self, observer) -> None:
+        """Register a callable invoked with every served :class:`Query`.
+
+        The lifecycle layer uses this to sample the live query stream into
+        its drift probe set without the service knowing about monitors.
+        Observers run on the caller's thread and must be cheap; an observer
+        exception is swallowed (monitoring must never fail serving).
+        """
+        with self._observer_lock:
+            self._observers = (*self._observers, observer)
+
+    def remove_observer(self, observer) -> None:
+        with self._observer_lock:
+            # Equality, not identity: bound methods (monitor.observe) are
+            # fresh objects on every attribute access but compare equal.
+            self._observers = tuple(existing for existing in self._observers
+                                    if existing != observer)
+
+    def _notify_observers(self, query: Query) -> None:
+        for observer in self._observers:  # tuple read is atomic, no lock
+            try:
+                observer(query)
+            except Exception:  # noqa: BLE001 — monitoring must not fail serving
+                pass
+
+    # ------------------------------------------------------------------
     # Request paths
     # ------------------------------------------------------------------
     def estimate(self, query: Query) -> float:
         """Answer one query: cache, then (micro-batched) forward pass."""
         started = time.perf_counter()
-        key = self._keys.key(query) if self.config.cache_capacity else None
+        if self._observers:
+            self._notify_observers(query)
+        # Capture the key encoder once: a concurrent hot-swap replaces
+        # self._keys (new namespace) and flushes the cache, and re-checking
+        # identity before the put keeps this request from re-inserting an
+        # estimate under the superseded namespace after the flush.
+        keys = self._keys
+        key = keys.key(query) if self.config.cache_capacity else None
         if key is not None:
             cached = self.cache.get(key)
             if cached is not None:
@@ -146,7 +183,7 @@ class EstimationService:
             estimate = self._batcher.submit(query).result()
         else:
             estimate = float(np.asarray(self._run_batch([query]))[0])
-        if key is not None:
+        if key is not None and self._keys is keys:
             self.cache.put(key, estimate)
         self.stats.record_request(time.perf_counter() - started, cache_hit=False)
         return estimate
@@ -159,11 +196,15 @@ class EstimationService:
         """
         queries = list(queries)
         started = time.perf_counter()
+        if self._observers:
+            for query in queries:
+                self._notify_observers(query)
         estimates = np.empty(len(queries), dtype=np.float64)
         missing: list[int] = []
+        encoder = self._keys  # captured once; see estimate() for why
         keys: list = [None] * len(queries)
         for index, query in enumerate(queries):
-            key = self._keys.key(query) if self.config.cache_capacity else None
+            key = encoder.key(query) if self.config.cache_capacity else None
             keys[index] = key
             cached = self.cache.get(key) if key is not None else None
             if cached is None:
@@ -175,13 +216,25 @@ class EstimationService:
                                   dtype=np.float64)
             for position, index in enumerate(missing):
                 estimates[index] = computed[position]
-                if keys[index] is not None:
+                if keys[index] is not None and self._keys is encoder:
                     self.cache.put(keys[index], float(computed[position]))
         per_query = (time.perf_counter() - started) / max(len(queries), 1)
         missed = set(missing)
         for index in range(len(queries)):
             self.stats.record_request(per_query, cache_hit=index not in missed)
         return estimates
+
+    def probe_batch(self, queries: Sequence[Query]) -> np.ndarray:
+        """Forward pass outside the request path: no cache, no counters.
+
+        The drift monitor measures probe accuracy through this so that
+        monitoring traffic neither skews the operator-facing request/latency
+        statistics nor evicts organic entries from the estimate cache.
+        Runs whatever plan currently serves (safe concurrently with the
+        batcher: compiled plans serialise on their own lock).
+        """
+        estimates, _ = self._timed_runner(list(queries))
+        return np.asarray(estimates, dtype=np.float64)
 
     def _run_batch(self, queries: Sequence[Query]) -> np.ndarray:
         estimates, _ = self._timed_runner(queries)
@@ -204,7 +257,8 @@ class EstimationService:
 
     def refresh(self, *, epochs: int | None = None,
                 replay_fraction: float | None = None,
-                version: str | None = None) -> RegistryEntry | None:
+                version: str | None = None,
+                throttle=None) -> RegistryEntry | None:
         """Absorb appended data: fine-tune, re-register, hot-swap, invalidate.
 
         Runs :meth:`DuetTrainer.fine_tune` over the delta between the served
@@ -216,6 +270,10 @@ class EstimationService:
         and flushed, and — when a registry is attached — the refreshed
         model is registered under a new version carrying the new
         ``data_version``.
+
+        ``throttle`` is passed through to the fine-tuning loop (called after
+        every optimiser step); the lifecycle scheduler uses it to make the
+        tune yield to serving threads in bounded batch slices.
 
         Returns the new :class:`RegistryEntry` (``None`` when nothing was
         appended, or when no registry is attached).  Raises
@@ -232,6 +290,12 @@ class EstimationService:
             raise RuntimeError(
                 f"estimator {self.estimator.name!r} has no trainable model; "
                 f"refresh() supports Duet estimators")
+        # Fast path: nothing appended since the served data_version — skip
+        # the snapshot/delta materialisation, the pointless fine-tune, and
+        # (crucially) the cache flush that would evict perfectly valid
+        # entries.  Raced appends are caught again under the lock below.
+        if self.staleness() == 0:
+            return None
         with self._refresh_lock:
             snapshot = self.store.snapshot()
             delta = self.store.delta(self.data_version or 0)
@@ -245,7 +309,8 @@ class EstimationService:
                 snapshot, tuned, delta,
                 epochs=epochs if epochs is not None else self.config.refresh_epochs,
                 replay_fraction=(replay_fraction if replay_fraction is not None
-                                 else self.config.replay_fraction))
+                                 else self.config.replay_fraction),
+                throttle=throttle)
             entry = None
             if self.registry is not None:
                 entry = self.registry.save(
@@ -254,22 +319,48 @@ class EstimationService:
                               "base_data_version": delta.base_version},
                     compile_options=getattr(self.estimator, "compile_options", None),
                     data_version=snapshot.data_version)
-                self.model_version = entry.version
-            # Hot swap: one attribute assignment flips the tape path to the
-            # tuned weights; the compiled plan is then rebuilt from them,
-            # and the cache is re-keyed before dropping the stale entries.
-            self.estimator.model = tuned
-            self.estimator.table = tuned.table
-            self.estimator.data_version = snapshot.data_version
-            if entry is not None:
-                self.estimator.model_version = entry.version
-            if getattr(self.estimator, "compiled", False):
-                self.estimator.compile(self.estimator.compile_options)
-            self.data_version = snapshot.data_version
-            self._timed_runner = self._build_runner()
-            self._keys = QueryKeyEncoder(tuned.table, namespace=self._namespace())
-            self.cache.clear()
+            self._install(tuned, snapshot.data_version,
+                          entry.version if entry is not None else None)
             return entry
+
+    def swap_model(self, model, *, data_version: int | None = None,
+                   model_version: str | None = None) -> None:
+        """Atomically make ``model`` the served model.
+
+        The cold-train escalation path: a model trained out-of-band (its
+        table may carry *grown* domains the old model could not absorb) is
+        swapped in exactly like a refresh result — tape path flipped by one
+        attribute assignment, compiled plan rebuilt, cache re-keyed and
+        flushed — while concurrent requests keep reading the old model
+        until the swap completes.  ``data_version`` defaults to the model
+        table's own version when it is a snapshot.
+        """
+        with self._refresh_lock:
+            if data_version is None:
+                data_version = getattr(model.table, "data_version", None)
+            self._install(model, data_version, model_version)
+
+    def _install(self, model, data_version: int | None,
+                 model_version: str | None) -> None:
+        """Hot-swap tail shared by refresh() and swap_model().
+
+        Caller holds ``_refresh_lock``.  One attribute assignment flips the
+        tape path to the new weights; the compiled plan is then rebuilt from
+        them, and the cache is re-keyed before dropping the stale entries.
+        """
+        self.estimator.model = model
+        self.estimator.table = model.table
+        self.estimator.data_version = data_version
+        if model_version is not None:
+            self.estimator.model_version = model_version
+            self.model_version = model_version
+        if getattr(self.estimator, "compiled", False):
+            self.estimator.compile(self.estimator.compile_options)
+        self.data_version = data_version
+        self._timed_runner = self._build_runner()
+        self._keys = QueryKeyEncoder(model.table, namespace=self._namespace())
+        self.cache.clear()
+        self.stats.record_swap()
 
     # ------------------------------------------------------------------
     # Introspection and lifecycle

@@ -36,6 +36,8 @@ class StatsSnapshot:
     num_batches: int
     batched_requests: int
     mean_batch_size: float
+    #: hot-swaps of the served model (refreshes + cold-train escalations)
+    model_swaps: int = 0
 
     def as_table_row(self) -> list:
         """Row for :func:`repro.eval.reporting.format_table` serving reports."""
@@ -62,6 +64,7 @@ class ServiceStats:
         self._cache_misses = 0
         self._num_batches = 0
         self._batched_requests = 0
+        self._model_swaps = 0
         self._started = time.perf_counter()
 
     # ------------------------------------------------------------------
@@ -79,6 +82,11 @@ class ServiceStats:
             self._num_batches += 1
             self._batched_requests += batch_size
 
+    def record_swap(self) -> None:
+        """Count one hot-swap of the served model."""
+        with self._lock:
+            self._model_swaps += 1
+
     def reset(self) -> None:
         """Zero every counter and restart the QPS clock."""
         with self._lock:
@@ -88,6 +96,7 @@ class ServiceStats:
             self._cache_misses = 0
             self._num_batches = 0
             self._batched_requests = 0
+            self._model_swaps = 0
             self._started = time.perf_counter()
 
     # ------------------------------------------------------------------
@@ -117,4 +126,5 @@ class ServiceStats:
                 batched_requests=self._batched_requests,
                 mean_batch_size=(self._batched_requests / self._num_batches
                                  if self._num_batches else 0.0),
+                model_swaps=self._model_swaps,
             )

@@ -119,6 +119,29 @@ class TestEndToEndLifecycle:
             assert service.refresh() is None
             assert registry.versions("lifecycle") == ["v1"]
 
+    def test_refresh_fast_path_skips_work_and_keeps_cache(self, store, tmp_path,
+                                                          monkeypatch):
+        """staleness() == 0 must short-circuit before delta materialisation,
+        fine-tuning, and — crucially — the cache flush."""
+        base = store.snapshot()
+        model = DuetModel(base, CONFIG)
+        DuetTrainer(model, base, config=CONFIG).train(1)
+        registry = ModelRegistry(tmp_path)
+        registry.save(model, dataset="lifecycle")
+        with EstimationService.from_registry(registry, "lifecycle",
+                                             store=store) as service:
+            probe = Query.from_triples([("age", ">=", 30)])
+            service.estimate(probe)
+            assert len(service.cache) == 1
+            # The fast path must not even look at deltas or snapshots.
+            monkeypatch.setattr(store, "delta", lambda *a, **k: pytest.fail(
+                "no-op refresh materialised a delta"))
+            monkeypatch.setattr(store, "snapshot", lambda: pytest.fail(
+                "no-op refresh took a snapshot"))
+            assert service.refresh() is None
+            assert len(service.cache) == 1       # valid entries survive
+            assert registry.versions("lifecycle") == ["v1"]
+
     def test_refresh_requires_a_store(self):
         estimator = DuetEstimator(DuetModel(
             Table.from_dict("static", {"a": [1, 2, 3]}), CONFIG))

@@ -1,0 +1,92 @@
+"""Slow soak test of the autonomous lifecycle (opt-in via --run-slow).
+
+Exercises the full async path the unit tests drive synchronously: a running
+scheduler daemon, concurrent load from run_soak, timed appends (skewed then
+domain-growing), and the acceptance bar — zero failed requests while the
+controller refreshes and cold-trains on its own.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    DuetConfig,
+    DuetModel,
+    DuetTrainer,
+    LifecyclePolicy,
+    ServingConfig,
+)
+from repro.data import ColumnStore, Table
+from repro.eval import run_soak
+from repro.lifecycle import RefreshScheduler
+from repro.serving import EstimationService, ModelRegistry
+from repro.workload import make_random_workload
+
+pytestmark = pytest.mark.slow
+
+CONFIG = DuetConfig(hidden_sizes=(24, 24), epochs=2, batch_size=128,
+                    expand_coefficient=1, lambda_query=0.0, seed=0)
+
+
+def _skewed_batch(store, fraction, seed):
+    rng = np.random.default_rng(seed)
+    snapshot = store.snapshot()
+    count = int(snapshot.num_rows * fraction)
+    batch = {}
+    for name in snapshot.column_names:
+        column = snapshot.column(name)
+        start = (3 * column.num_distinct) // 4
+        batch[name] = column.distinct_values[
+            rng.integers(start, column.num_distinct, size=count)]
+    return batch
+
+
+def test_soak_with_running_scheduler(tmp_path):
+    rng = np.random.default_rng(0)
+    store = ColumnStore.from_table(Table.from_dict("soak", {
+        "age": rng.integers(18, 60, size=600),
+        "city": rng.choice(["ams", "ber", "cdg", "dus", "lis"], size=600),
+        "score": rng.integers(0, 12, size=600),
+    }))
+    base = store.snapshot()
+    model = DuetModel(base, CONFIG)
+    DuetTrainer(model, base, config=CONFIG).train()
+    registry = ModelRegistry(tmp_path / "registry")
+    registry.save(model, dataset="soak")
+
+    policy = LifecyclePolicy(poll_interval_seconds=0.1, max_stale_rows=None,
+                             max_stale_fraction=0.2, probe_sample_rate=0.2,
+                             debounce_polls=1, cooldown_seconds=0.5,
+                             refresh_epochs=1, cold_train_epochs=1,
+                             keep_model_versions=2)
+    with EstimationService.from_registry(
+            registry, "soak", store=store,
+            config=ServingConfig(max_wait_ms=0.2)) as service:
+        workload = make_random_workload(base, num_queries=150, seed=11,
+                                        label=False)
+        with RefreshScheduler(service, policy) as scheduler:
+            scheduler.monitor.seed_probes(workload.queries[:32])
+            report = run_soak(
+                service, workload, duration_seconds=8.0, concurrency=4,
+                appends=[
+                    (0.5, lambda: store.append(_skewed_batch(store, 0.5, 7))),
+                    (3.0, lambda: store.append(
+                        {"age": np.arange(200, 450), "city": ["new"] * 250,
+                         "score": np.arange(100, 350)})),
+                ],
+                scheduler=scheduler, seed=0)
+            assert scheduler.quiesce(timeout=120.0)
+            # The soak report is cut at the load deadline; the escalation
+            # may land during quiesce, so count swaps from the event log.
+            swaps = [event for event in scheduler.events.events("cold_train")
+                     if event.details.get("status") == "swapped"]
+
+        assert report.errors == 0
+        assert report.appends_applied == 2
+        assert report.num_requests > 0
+        assert report.refreshes >= 1            # skewed append absorbed
+        assert len(swaps) >= 1                  # domain growth escalated
+        assert service.staleness() == 0
+        # Retention held: at most keep_model_versions survive.
+        assert len(registry.versions("soak")) <= 2
+        assert service.model_version in registry.versions("soak")

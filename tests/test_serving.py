@@ -322,3 +322,62 @@ class TestEstimationService:
         # bit-for-bit check lives in TestModelRegistry.
         np.testing.assert_allclose(served, estimator.estimate_batch(workload.queries),
                                    rtol=1e-9)
+
+
+# ----------------------------------------------------------------------
+# Registry retention
+# ----------------------------------------------------------------------
+class TestRegistryPrune:
+    def test_prunes_to_newest_versions(self, tmp_path, estimator):
+        registry = ModelRegistry(tmp_path)
+        for _ in range(5):
+            registry.save(estimator.model, dataset="tiny")
+        removed = registry.prune("tiny", keep=2)
+        assert removed == ["v3", "v2", "v1"]
+        assert registry.versions("tiny") == ["v4", "v5"]
+        assert registry.latest_version("tiny") == "v5"
+        for version in removed:
+            assert not (tmp_path / "tiny" / version).exists()
+        # Survivors still load bit-for-bit.
+        registry.load_estimator("tiny", "v4")
+
+    def test_never_deletes_latest_even_with_keep_one(self, tmp_path, estimator):
+        registry = ModelRegistry(tmp_path)
+        registry.save(estimator.model, dataset="tiny")
+        registry.save(estimator.model, dataset="tiny")
+        registry.prune("tiny", keep=1)
+        assert registry.versions("tiny") == ["v2"]
+        assert registry.latest_version("tiny") == "v2"
+
+    def test_protect_keeps_the_served_version(self, tmp_path, estimator):
+        registry = ModelRegistry(tmp_path)
+        for _ in range(4):
+            registry.save(estimator.model, dataset="tiny")
+        removed = registry.prune("tiny", keep=1, protect=("v2",))
+        assert "v2" not in removed
+        assert registry.versions("tiny") == ["v2", "v4"]
+        # Unknown protected names are ignored rather than invented.
+        assert registry.prune("tiny", keep=1, protect=("v99",)) == ["v2"]
+
+    def test_prune_is_a_noop_when_nothing_to_remove(self, tmp_path, estimator):
+        registry = ModelRegistry(tmp_path)
+        registry.save(estimator.model, dataset="tiny")
+        assert registry.prune("tiny", keep=3) == []
+        assert registry.prune("unknown-dataset", keep=1) == []
+
+    def test_prune_rejects_keep_below_one(self, tmp_path, estimator):
+        registry = ModelRegistry(tmp_path)
+        registry.save(estimator.model, dataset="tiny")
+        with pytest.raises(ValueError, match="at least one"):
+            registry.prune("tiny", keep=0)
+
+    def test_prune_refuses_inconsistent_manifest(self, tmp_path, estimator):
+        registry = ModelRegistry(tmp_path)
+        registry.save(estimator.model, dataset="tiny")
+        latest = registry.save(estimator.model, dataset="tiny")
+        latest.model_path.unlink()  # manifest now lies about v2
+        with pytest.raises(RuntimeError, match="refusing to prune"):
+            registry.prune("tiny", keep=1)
+        # Nothing was deleted by the aborted prune.
+        assert registry.versions("tiny") == ["v1", "v2"]
+        assert (tmp_path / "tiny" / "v1").exists()

@@ -297,3 +297,98 @@ class TestStreamingLoadCsv:
         empty.write_text("a,b\n")
         with pytest.raises(ValueError, match="no data rows"):
             load_csv(empty)
+
+
+# ----------------------------------------------------------------------
+# Bounded version history
+# ----------------------------------------------------------------------
+class TestBoundedVersionHistory:
+    def _grow(self, store, rounds=3):
+        """A few in-domain appends, each publishing one version."""
+        rng = np.random.default_rng(9)
+        for _ in range(rounds):
+            snapshot = store.snapshot()
+            store.append({
+                name: snapshot.column(name).distinct_values[
+                    rng.integers(0, snapshot.column(name).num_distinct, size=20)]
+                for name in snapshot.column_names})
+
+    def test_trim_drops_unreachable_versions(self, base_table):
+        import gc
+
+        store = ColumnStore.from_table(base_table)
+        self._grow(store, rounds=3)
+        assert store.tracked_versions == [0, 1, 2, 3, 4]
+        gc.collect()  # drop the snapshots _grow created
+        trimmed = store.trim_versions()
+        # No snapshot is live: everything strictly between the empty store
+        # and the current version goes.
+        assert trimmed == 3
+        assert store.tracked_versions == [0, 4]
+
+    def test_live_snapshots_pin_their_versions(self, base_table):
+        import gc
+
+        store = ColumnStore.from_table(base_table)
+        self._grow(store, rounds=1)
+        held = store.snapshot()          # version 2 stays reachable
+        self._grow(store, rounds=2)
+        gc.collect()
+        assert store.oldest_live_version() == 2
+        trimmed = store.trim_versions()
+        assert trimmed == 1              # only version 1
+        assert store.tracked_versions == [0, 2, 3, 4]
+        # The pinned version still answers exact deltas and staleness.
+        assert store.rows_since(held.data_version) == 40
+        delta = store.delta(held)
+        assert delta.base_version == 2
+        assert delta.appended_rows == 40
+
+    def test_old_snapshots_keep_working_after_trim(self, base_table):
+        import gc
+
+        store = ColumnStore.from_table(base_table)
+        held = store.snapshot()
+        counts_before = true_cardinalities(
+            held, make_random_workload(held, num_queries=25, seed=4,
+                                       label=False).queries)
+        self._grow(store, rounds=2)
+        # Growth append forces a copy-on-remap of every chunk.
+        store.append({"a": [999], "b": ["zz"]})
+        gc.collect()
+        store.trim_versions()
+        # The held snapshot's tuples and domains are untouched by both the
+        # remap and the metadata trim.
+        workload = make_random_workload(held, num_queries=25, seed=4,
+                                        label=False)
+        np.testing.assert_array_equal(
+            true_cardinalities(held, workload.queries), counts_before)
+        assert held.num_rows == base_table.num_rows
+
+    def test_trimmed_version_degrades_to_everything_new(self, base_table):
+        import gc
+
+        store = ColumnStore.from_table(base_table)
+        self._grow(store, rounds=2)
+        gc.collect()
+        store.trim_versions()
+        # Version 1's metadata is gone: staleness and deltas fall back to
+        # the documented unknown-base behaviour instead of failing.
+        assert store.rows_since(1) == store.num_rows
+        delta = store.delta(1)
+        assert delta.base_version == 0
+        assert delta.appended_rows == store.num_rows
+
+    def test_trim_respects_explicit_bound(self, base_table):
+        import gc
+
+        store = ColumnStore.from_table(base_table)
+        self._grow(store, rounds=3)
+        gc.collect()
+        assert store.trim_versions(before=3) == 2      # versions 1 and 2
+        assert store.tracked_versions == [0, 3, 4]
+
+    def test_current_version_is_never_trimmed(self, base_table):
+        store = ColumnStore.from_table(base_table)
+        assert store.trim_versions() == 0
+        assert store.tracked_versions == [0, 1]
