@@ -66,6 +66,10 @@ class DuetConfig:
     # hybrid loss L = L_data + lambda * log2(QError + 1)
     lambda_query: float = 0.1
     query_batch_size: int = 64
+    # negative replay (delete absorption): weight of the hinge penalty that
+    # pushes removed tuples' likelihood down toward (at most) uniform during
+    # incremental fine-tuning; 0 disables negative replay entirely
+    negative_weight: float = 0.5
 
     def __post_init__(self) -> None:
         if self.value_encoding not in _VALID_VALUE_ENCODINGS:
@@ -77,6 +81,8 @@ class DuetConfig:
             raise ValueError("wildcard_probability must be in [0, 1)")
         if self.lambda_query < 0:
             raise ValueError("lambda_query must be non-negative")
+        if self.negative_weight < 0:
+            raise ValueError("negative_weight must be non-negative")
         if self.batch_size <= 0 or self.epochs <= 0:
             raise ValueError("batch_size and epochs must be positive")
         if not self.hidden_sizes:
@@ -228,6 +234,14 @@ class LifecyclePolicy:
     trim_store_versions:
         Store retention: drop per-version metadata made unreachable once no
         live snapshot references versions that old.
+    compact_tombstone_fraction:
+        Compaction trigger: when the store's dead-row fraction
+        (:attr:`~repro.data.ColumnStore.tombstone_fraction`) reaches this
+        threshold, the scheduler rewrites the chunks to drop tombstoned rows
+        and escalates to a background cold train on the compacted snapshot
+        (deltas cannot span a compaction, and a clean retrain also erases
+        the approximation error negative-replay fine-tuning accumulates
+        under heavy deletes).  ``None`` disables automatic compaction.
     """
 
     poll_interval_seconds: float = 1.0
@@ -247,6 +261,7 @@ class LifecyclePolicy:
     tune_yield_seconds: float = 0.002
     keep_model_versions: int | None = 3
     trim_store_versions: bool = True
+    compact_tombstone_fraction: float | None = 0.30
 
     def __post_init__(self) -> None:
         if self.poll_interval_seconds <= 0:
@@ -280,6 +295,10 @@ class LifecyclePolicy:
             raise ValueError("tune_yield_seconds must be non-negative")
         if self.keep_model_versions is not None and self.keep_model_versions < 1:
             raise ValueError("keep_model_versions must be >= 1 (or None)")
+        if (self.compact_tombstone_fraction is not None
+                and not 0.0 < self.compact_tombstone_fraction <= 1.0):
+            raise ValueError(
+                "compact_tombstone_fraction must be in (0, 1] (or None)")
 
 
 def dmv_config(**overrides) -> DuetConfig:

@@ -92,6 +92,8 @@ class DuetTrainer:
         seed: int | None = None,
         guidance: "PredicateGuidance | None" = None,
         train_rows: np.ndarray | None = None,
+        negative_codes: np.ndarray | None = None,
+        negative_weight: float | None = None,
         throttle: "Callable[[], None] | None" = None,
     ) -> None:
         self.model = model
@@ -115,6 +117,21 @@ class DuetTrainer:
         self.throttle = throttle
         self._codes = table.code_matrix(None if train_rows is None
                                         else self.train_row_indices)
+        #: code matrix of *removed* tuples (negative replay): each step a
+        #: sample of them runs through the same virtual-table objective, but
+        #: as a hinge penalty active only while the model still assigns them
+        #: more likelihood than a uniform model would — "unlearn down to
+        #: background level, then stop" (which keeps the penalty bounded and
+        #: the training stable, unlike unbounded gradient ascent)
+        self._negative_codes = (np.asarray(negative_codes, dtype=np.int64)
+                                if negative_codes is not None
+                                and len(negative_codes) else None)
+        self.negative_weight = (self.config.negative_weight
+                                if negative_weight is None
+                                else float(negative_weight))
+        # Uniform-model cross-entropy over the columns: sum of ln(NDV).
+        self._negative_margin = float(sum(
+            np.log(max(cardinality, 1)) for cardinality in table.cardinalities))
         self._query_arrays = None
         if self.hybrid:
             # Pre-translate the training workload once; batches are sliced per
@@ -155,6 +172,28 @@ class DuetTrainer:
             loss = column_loss if loss is None else loss + column_loss
         return loss
 
+    def _negative_loss(self) -> Tensor:
+        """Negative-replay hinge on a sample of removed tuples.
+
+        The removed tuples run through the *same* Algorithm 1 objective as
+        the data loss — virtual-table predicates sampled around them,
+        per-column cross-entropy — but mirrored: the penalty is
+        ``relu(margin - CE)`` with the margin at the uniform model's
+        cross-entropy, so gradients push the removed tuples' likelihood
+        *down*, and vanish once they are no more likely than background.
+        """
+        count = min(self.config.batch_size, self._negative_codes.shape[0])
+        picked = self._rng.choice(self._negative_codes.shape[0], size=count,
+                                  replace=False)
+        virtual = self.sampler.sample_batch(self._negative_codes[picked])
+        outputs = self.model.forward(virtual.values, virtual.ops)
+        ce: Tensor | None = None
+        for column_index in range(self.table.num_columns):
+            logits = self.model.column_logits(outputs, column_index)
+            column_loss = F.cross_entropy(logits, virtual.labels[:, column_index])
+            ce = column_loss if ce is None else ce + column_loss
+        return (self._negative_margin - ce).relu()
+
     def _query_loss(self) -> tuple[Tensor, float]:
         """Supervised loss: mapped Q-Error on a batch of training queries."""
         values, ops, masks, cards = self._query_batch()
@@ -178,6 +217,8 @@ class DuetTrainer:
         for batch_codes in self._iterate_batches():
             loss = self._data_loss(batch_codes)
             data_losses.append(loss.item())
+            if self._negative_codes is not None and self.negative_weight > 0:
+                loss = loss + self._negative_loss() * self.negative_weight
             if self.hybrid:
                 query_loss, raw_qerror = self._query_loss()
                 query_losses.append(query_loss.item())
@@ -225,18 +266,28 @@ class DuetTrainer:
         config: DuetConfig | None = None,
         epochs: int = 1,
         replay_fraction: float = 0.25,
+        negative_weight: float | None = None,
         seed: int | None = None,
         throttle: "Callable[[], None] | None" = None,
     ) -> tuple["DuetTrainer", TrainingHistory]:
-        """Refresh ``base_model`` on appended data instead of retraining.
+        """Refresh ``base_model`` on churned data instead of retraining.
 
         The incremental half of the paper's operational claim: Algorithm 1's
         virtual-table sampling runs over the *delta* rows (plus a replay
-        sample of ``replay_fraction * appended_rows`` old rows against
-        forgetting), so the cost is proportional to the append, not the
-        table.  ``base_model`` is rebound to ``snapshot`` (updating the row
-        count selectivities scale by) and updated **in place**; appends that
-        grew a column's domain raise a typed
+        sample of ``replay_fraction * churned_rows`` surviving rows against
+        forgetting), so the cost is proportional to the churn, not the
+        table.  Mixed deltas are absorbed from both sides: the appended
+        still-live rows (the tail of ``snapshot``) are trained on directly,
+        and the delta's *removed* rows are replayed as negatives — a hinge
+        penalty that pushes their likelihood down toward uniform
+        (``negative_weight``, default :attr:`DuetConfig.negative_weight`).
+        A pure-delete delta falls back to a replay sample of surviving rows
+        as its positive side, so the model always sees live data while
+        unlearning the dead rows.
+
+        ``base_model`` is rebound to ``snapshot`` (updating the row count
+        selectivities scale by) and updated **in place**; appends that grew
+        a column's domain raise a typed
         :class:`~repro.data.DomainGrowthError` because the model's encoding
         and output shapes no longer fit — that case needs a cold train.
 
@@ -253,14 +304,26 @@ class DuetTrainer:
                 f"model on the snapshot instead",
                 columns=delta.grown_columns)
         base_model.rebind(snapshot)
-        base_rows = delta.base_rows
-        appended = np.arange(base_rows, snapshot.num_rows)
-        replay_count = min(int(round(replay_fraction * appended.size)), base_rows)
+        surviving = max(delta.surviving_base_rows, 0)
+        removed_count = delta.removed_rows
+        # Appended-and-live rows occupy the live view's tail (surviving base
+        # rows keep their relative order at the front).
+        appended = np.arange(surviving, snapshot.num_rows)
+        replay_count = min(int(round(replay_fraction * delta.churned_rows)),
+                           surviving)
+        if appended.size == 0 and removed_count and replay_count == 0:
+            # Pure delete with a tiny churn: still show the model live data
+            # alongside the negatives.
+            replay_count = min(surviving, removed_count)
         rng = np.random.default_rng((config or base_model.config).seed
                                     if seed is None else seed)
-        replay = rng.choice(base_rows, size=replay_count, replace=False)
+        replay = rng.choice(surviving, size=replay_count, replace=False)
+        negative_codes = (delta.removed.code_matrix()
+                          if removed_count else None)
         trainer = cls(base_model, snapshot, training_workload, config, seed=seed,
                       train_rows=np.concatenate([appended, replay]),
+                      negative_codes=negative_codes,
+                      negative_weight=negative_weight,
                       throttle=throttle)
         history = trainer.train(epochs)
         return trainer, history

@@ -3,19 +3,22 @@
 The static :class:`~repro.data.table.Table` is frozen at construction, which
 is fine for a one-shot reproduction but rules out the paper's operational
 story: a deployed estimator absorbing *data* changes through incremental
-training instead of full retrains.  This module adds the append lifecycle:
+training instead of full retrains.  This module adds the mutation lifecycle:
 
 * :class:`ColumnStore` — per-column dictionaries plus a list of immutable
   integer-code *chunks*; ``append`` ingests batches of raw values, growing
   dictionaries as needed while keeping codes sorted by value order;
-* :class:`Snapshot` — an immutable :class:`Table` view of the store at one
-  point in time, carrying a monotonically increasing ``data_version``.  Every
-  existing consumer (trainer, executor, codec, serving) takes a ``Table``, so
-  snapshots drop into all of them unchanged;
-* :class:`TableDelta` — what changed between two snapshots: the appended rows
-  as their own table (full current domains, appended tuples only), plus which
-  column domains grew.  Delta labeling, incremental fine-tuning, and staleness
-  reporting are all driven by deltas.
+  ``delete`` tombstones live rows (by mask, indices, or predicate) without
+  touching the chunk arrays; ``compact`` rewrites chunks to drop dead rows;
+* :class:`Snapshot` — an immutable :class:`Table` view of the store's **live
+  rows** at one point in time, carrying a monotonically increasing
+  ``data_version``.  Every existing consumer (trainer, executor, codec,
+  serving) takes a ``Table``, so snapshots drop into all of them unchanged;
+* :class:`TableDelta` — what changed between two snapshots: the appended
+  rows that are still live and the rows removed from the base's live set,
+  each as their own table (full current domains), plus which column domains
+  grew.  Delta labeling, incremental fine-tuning, and staleness reporting
+  are all driven by deltas.
 
 Dictionary growth and snapshot immutability interact: codes index *sorted*
 distinct values, so a new value landing in the middle of a domain shifts every
@@ -26,6 +29,18 @@ current state while older snapshots keep referencing the original arrays
 whose values are all already in the domain take the *domain-preserving fast
 path*: no remap, no copies, chunks are shared structurally with previous
 snapshots.
+
+Deletes follow the same discipline through **per-chunk tombstone bitmaps**:
+a delete never mutates a chunk (or a previously published bitmap) — it
+replaces the affected chunks' bitmaps with copies carrying the new bits, so
+snapshots and version metadata handed out earlier keep referencing the
+bitmaps that were current when they were published.  Dictionaries never
+shrink on delete: a value whose last row was tombstoned keeps its code, so
+re-appending it later is a domain-preserving fast-path append with the same
+code (never a reused/shifted one).  Physical reclamation is a separate,
+explicit step — :meth:`ColumnStore.compact` — which rewrites the chunks
+without the dead rows and starts a new *chunk epoch*; deltas spanning a
+compaction degrade to the documented unknown-base behaviour.
 """
 
 from __future__ import annotations
@@ -57,7 +72,7 @@ class DomainGrowthError(RuntimeError):
 
 
 class Snapshot(Table):
-    """An immutable, versioned view of a :class:`ColumnStore`.
+    """An immutable, versioned view of a :class:`ColumnStore`'s live rows.
 
     A snapshot *is* a table — same columns, codes, and API — plus:
 
@@ -79,7 +94,7 @@ class Snapshot(Table):
 
 @dataclass(frozen=True)
 class TableDelta:
-    """The difference between two snapshots of one store (append-only).
+    """The difference between two snapshots of one store.
 
     Attributes
     ----------
@@ -87,12 +102,18 @@ class TableDelta:
         The two ``data_version`` endpoints (``base_version`` may be 0, the
         empty store).
     base_rows:
-        Row count at ``base_version``; appended rows occupy positions
-        ``[base_rows, base_rows + appended.num_rows)`` in the new snapshot.
+        **Live** row count at ``base_version``.
     appended:
-        The appended tuples as their own :class:`Table`, dictionary-encoded
-        against the **new** snapshot's (full) domains — exactly what the
-        chunk-vectorised labeling kernel and Algorithm 1 sampling consume.
+        The rows appended after the base version *and still live*, as their
+        own :class:`Table`, dictionary-encoded against the **new** snapshot's
+        (full) domains — exactly what the chunk-vectorised labeling kernel
+        and Algorithm 1 sampling consume.  In the new snapshot they occupy
+        the tail positions ``[surviving_base_rows, num_rows)``.
+    removed:
+        The rows that were live at the base version but are tombstoned now,
+        encoded against the same current domains (``None`` when nothing was
+        removed).  Labeling *subtracts* their cardinality contribution;
+        fine-tuning replays them as negatives.
     grown_columns:
         Names of columns whose domain grew between the two versions.
     promoted_columns:
@@ -106,12 +127,31 @@ class TableDelta:
     new_version: int
     base_rows: int
     appended: Table
+    removed: Table | None = None
     grown_columns: tuple[str, ...] = ()
     promoted_columns: tuple[str, ...] = ()
 
     @property
     def appended_rows(self) -> int:
         return self.appended.num_rows
+
+    @property
+    def removed_rows(self) -> int:
+        return 0 if self.removed is None else self.removed.num_rows
+
+    @property
+    def surviving_base_rows(self) -> int:
+        """Base-version live rows still live in the new snapshot.
+
+        They occupy positions ``[0, surviving_base_rows)`` of the new
+        snapshot; the appended (live) rows fill the tail.
+        """
+        return self.base_rows - self.removed_rows
+
+    @property
+    def churned_rows(self) -> int:
+        """Total rows that changed state: appended-and-live plus removed."""
+        return self.appended_rows + self.removed_rows
 
     @property
     def domains_grew(self) -> bool:
@@ -129,20 +169,34 @@ class _ColumnState:
 
 @dataclass(frozen=True)
 class _VersionInfo:
-    """What the store remembers about each published version."""
+    """What the store remembers about each published version.
 
-    num_rows: int
+    ``appended_total`` / ``removed_total`` are lifetime-cumulative row
+    counters (monotone, unaffected by compaction), so churn between two
+    versions is a pair of subtractions.  ``tombstones`` are references to
+    the per-chunk bitmaps current at publish time (bitmaps are immutable:
+    deletes replace them, never mutate them), which is what lets a later
+    delta reconstruct exactly which rows were removed since this version.
+    ``epoch`` identifies the chunk layout; compaction starts a new epoch
+    and deltas refuse to mix epochs.
+    """
+
+    appended_total: int
+    removed_total: int
+    live_rows: int
     num_chunks: int
     ndv: tuple[int, ...]
     dtype_kinds: tuple[str, ...]
+    tombstones: tuple["np.ndarray | None", ...]
+    epoch: int
 
 
 class ColumnStore:
     """A mutable, chunked, dictionary-encoded columnar store.
 
-    Thread-safe for concurrent ``append``/``snapshot``/``delta`` calls (one
-    writer lock); snapshots handed out are immutable and never change under
-    the caller, whatever the store does afterwards.
+    Thread-safe for concurrent ``append``/``delete``/``snapshot``/``delta``
+    calls (one writer lock); snapshots handed out are immutable and never
+    change under the caller, whatever the store does afterwards.
     """
 
     def __init__(self, name: str, column_names: Sequence[str]) -> None:
@@ -158,15 +212,31 @@ class ColumnStore:
                          chunks=[])
             for column_name in names
         ]
-        self._num_rows = 0
+        #: live (non-tombstoned) rows — what snapshots expose
+        self._live_rows = 0
+        #: physical rows currently held in chunks (live + tombstoned)
+        self._chunk_rows = 0
+        #: lifetime-cumulative counters (monotone; compaction leaves them
+        #: untouched, so churn math survives physical rewrites)
+        self._appended_total = 0
+        self._removed_total = 0
+        #: one bitmap slot per chunk, shared by all columns (chunk
+        #: partitioning is row-aligned); ``None`` means the chunk has no
+        #: tombstoned rows.  Bitmaps are immutable once published.
+        self._tombstones: list[np.ndarray | None] = []
+        #: chunk-layout generation; compaction bumps it so deltas never mix
+        #: pre- and post-compaction chunk indices
+        self._chunk_epoch = 0
         self._data_version = 0
         self._lock = threading.RLock()
         # Version 0 is always the empty store, so deltas/staleness against an
         # unknown base degrade to "everything is new" instead of failing.
         self._versions: dict[int, _VersionInfo] = {
-            0: _VersionInfo(num_rows=0, num_chunks=0,
+            0: _VersionInfo(appended_total=0, removed_total=0, live_rows=0,
+                            num_chunks=0,
                             ndv=tuple(0 for _ in names),
-                            dtype_kinds=tuple("i" for _ in names)),
+                            dtype_kinds=tuple("i" for _ in names),
+                            tombstones=(), epoch=0),
         }
         self._snapshot_cache: dict[int, Snapshot] = {}
         # Every snapshot ever handed out, tracked weakly: entries disappear
@@ -186,7 +256,11 @@ class ColumnStore:
             for state, column in zip(store._columns, table.columns):
                 state.distinct_values = np.asarray(column.distinct_values)
                 state.chunks.append(np.asarray(column.codes, dtype=np.int64))
-            store._num_rows = table.num_rows
+            store._tombstones.append(None)
+            rows = table.num_rows
+            store._live_rows = rows
+            store._chunk_rows = rows
+            store._appended_total = rows
             store._publish()
         return store
 
@@ -206,8 +280,23 @@ class ColumnStore:
 
     @property
     def num_rows(self) -> int:
+        """Live (non-tombstoned) rows — the size of the current snapshot."""
         with self._lock:
-            return self._num_rows
+            return self._live_rows
+
+    @property
+    def physical_rows(self) -> int:
+        """Rows physically held in chunks, including tombstoned ones."""
+        with self._lock:
+            return self._chunk_rows
+
+    @property
+    def tombstone_fraction(self) -> float:
+        """Dead fraction of the physical rows (the compaction trigger)."""
+        with self._lock:
+            if self._chunk_rows == 0:
+                return 0.0
+            return (self._chunk_rows - self._live_rows) / self._chunk_rows
 
     @property
     def data_version(self) -> int:
@@ -219,6 +308,14 @@ class ColumnStore:
         """Versions whose per-version metadata is still retained."""
         with self._lock:
             return sorted(self._versions)
+
+    def live_rows_at(self, version: int | None) -> int | None:
+        """Live row count at ``version`` (``None`` if unknown/trimmed)."""
+        with self._lock:
+            if version is None:
+                return None
+            info = self._versions.get(int(version))
+            return None if info is None else info.live_rows
 
     def oldest_live_version(self) -> int:
         """The oldest version some caller still holds a :class:`Snapshot` of.
@@ -260,15 +357,20 @@ class ColumnStore:
             return len(stale)
 
     def rows_since(self, base_version: int) -> int:
-        """Rows appended after ``base_version`` (staleness of that version).
+        """Rows churned after ``base_version`` (staleness of that version).
 
-        Unknown (pre-trim or foreign) versions count from the empty store:
-        every current row is considered new.
+        Churn counts both directions of change: rows appended *and* rows
+        removed since the base — a model trained at the base version is
+        equally stale whichever way the live set moved.  Unknown (trimmed
+        or foreign) versions count from the empty store: every current live
+        row is considered new.
         """
         with self._lock:
             base = self._versions.get(int(base_version))
-            base_rows = base.num_rows if base is not None else 0
-            return self._num_rows - base_rows
+            if base is None:
+                return self._live_rows
+            return ((self._appended_total - base.appended_total)
+                    + (self._removed_total - base.removed_total))
 
     # ------------------------------------------------------------------
     # Append
@@ -289,7 +391,11 @@ class ColumnStore:
         with self._lock:
             for state, values in zip(self._columns, arrays):
                 self._append_column(state, values)
-            self._num_rows += int(arrays[0].size)
+            self._tombstones.append(None)
+            size = int(arrays[0].size)
+            self._live_rows += size
+            self._chunk_rows += size
+            self._appended_total += size
             self._publish()
             return self.snapshot()
 
@@ -336,7 +442,8 @@ class ColumnStore:
             # Stable remap old codes -> new codes; union1d keeps every old
             # value, so this lookup is exact.  Chunks are replaced by fresh
             # remapped arrays (copy-on-remap): snapshots holding the old
-            # arrays stay consistent with the old dictionary.
+            # arrays stay consistent with the old dictionary.  Tombstone
+            # bitmaps are row-positional, so the remap leaves them alone.
             remap = np.searchsorted(merged, dictionary)
             state.chunks = [remap[chunk] for chunk in state.chunks]
         state.distinct_values = merged
@@ -367,15 +474,150 @@ class ColumnStore:
         state.distinct_values = as_text[order]
         return values.astype(str)
 
+    # ------------------------------------------------------------------
+    # Delete and compaction
+    # ------------------------------------------------------------------
+    def delete(self, rows) -> Snapshot:
+        """Tombstone live rows; returns the new snapshot.
+
+        ``rows`` selects rows of the **current live view** (the table
+        :meth:`snapshot` returns) and may be:
+
+        * a boolean mask of length ``num_rows``,
+        * an array of live-row indices, or
+        * a :class:`~repro.workload.Query` — every live row satisfying it
+          is deleted.
+
+        Deletion is logical: chunks are untouched, the affected chunks'
+        tombstone bitmaps are replaced with copies carrying the new bits
+        (bitmaps are immutable once published, so earlier snapshots and
+        version metadata stay exact).  Dictionaries never shrink — a value
+        whose last row was deleted keeps its code, so re-appending the same
+        value later reuses that code instead of shifting its neighbours.
+        Deleting zero rows returns the current snapshot without bumping the
+        version.  Physical space is reclaimed separately by :meth:`compact`.
+        """
+        if hasattr(rows, "predicates"):  # a workload Query (lazy import:
+            # the executor imports this module for TableDelta)
+            from ..workload.executor import execute
+            # Evaluate the predicate scan *outside* the writer lock so a
+            # large delete does not stall concurrent appends/snapshots; the
+            # mask indexes one specific live view, so re-check the version
+            # under the lock and re-evaluate on the (rare) lost race.  The
+            # final attempt runs the scan under the lock: guaranteed
+            # progress even under pathological concurrent churn.
+            for _ in range(3):
+                snapshot = self.snapshot()
+                mask = execute(snapshot, rows)
+                with self._lock:
+                    if self._data_version == snapshot.data_version:
+                        return self._apply_delete_mask(mask)
+            with self._lock:
+                return self._apply_delete_mask(execute(self.snapshot(), rows))
+        with self._lock:
+            return self._apply_delete_mask(self._normalise_delete_selector(rows))
+
+    def _apply_delete_mask(self, mask: np.ndarray) -> Snapshot:
+        """Tombstone the live rows ``mask`` selects (caller holds the lock)."""
+        count = int(mask.sum())
+        if count == 0:
+            return self.snapshot()
+        offset = 0
+        for position, chunk in enumerate(self._columns[0].chunks):
+            tombstone = self._tombstones[position]
+            if tombstone is None:
+                live_positions = np.arange(chunk.size)
+            else:
+                live_positions = np.flatnonzero(~tombstone)
+            segment = mask[offset:offset + live_positions.size]
+            offset += live_positions.size
+            if not segment.any():
+                continue
+            grown = (np.zeros(chunk.size, dtype=bool)
+                     if tombstone is None else tombstone.copy())
+            grown[live_positions[segment]] = True
+            self._tombstones[position] = grown
+        self._live_rows -= count
+        self._removed_total += count
+        self._publish()
+        return self.snapshot()
+
+    def _normalise_delete_selector(self, rows) -> np.ndarray:
+        """Turn a mask or index array into a live-view boolean mask."""
+        selector = np.asarray(rows)
+        if selector.dtype == bool:
+            if selector.shape != (self._live_rows,):
+                raise ValueError(
+                    f"delete mask has shape {selector.shape} but the live "
+                    f"view holds {self._live_rows} rows")
+            return selector
+        indices = selector.astype(np.int64, casting="safe") if selector.size \
+            else np.empty(0, dtype=np.int64)
+        if indices.size and (indices.min() < 0
+                             or indices.max() >= self._live_rows):
+            raise IndexError(
+                f"delete indices out of range for a live view of "
+                f"{self._live_rows} rows")
+        mask = np.zeros(self._live_rows, dtype=bool)
+        mask[indices] = True
+        return mask
+
+    def compact(self) -> Snapshot:
+        """Rewrite chunks without the tombstoned rows; returns the snapshot.
+
+        The physical half of deletion: every column's chunks are merged into
+        one fresh chunk holding only live codes, the tombstone bitmaps are
+        reset, and a new *chunk epoch* begins.  The live view is unchanged
+        bit-for-bit (dictionaries are kept as-is — shrinking a domain would
+        change model shapes, which is a cold-train concern, not a storage
+        one), so compaction does not add churn: staleness across it stays
+        whatever it was.  Deltas whose base predates the compaction can no
+        longer map chunk indices and degrade to the documented unknown-base
+        behaviour — the lifecycle controller pairs compaction with a cold
+        train for exactly that reason.  A store with no dead rows is
+        returned unchanged (no version bump).
+        """
+        return self.compact_measured()[0]
+
+    def compact_measured(self) -> tuple[Snapshot, float, int]:
+        """:meth:`compact`, also returning what it reclaimed, atomically.
+
+        Returns ``(snapshot, tombstone_fraction, dropped_rows)`` where the
+        fraction and the drop count are measured under the same lock
+        acquisition that performs the rewrite — concurrent appends/deletes
+        cannot skew them (the lifecycle controller records them in its
+        event log).
+        """
+        with self._lock:
+            fraction = self.tombstone_fraction
+            dropped = self._chunk_rows - self._live_rows
+            if dropped == 0:
+                return self.snapshot(), fraction, 0
+            for state in self._columns:
+                parts = [chunk if tombstone is None else chunk[~tombstone]
+                         for chunk, tombstone
+                         in zip(state.chunks, self._tombstones)]
+                merged = parts[0] if len(parts) == 1 else np.concatenate(parts)
+                state.chunks = [merged]
+            self._tombstones = [None]
+            self._chunk_rows = self._live_rows
+            self._chunk_epoch += 1
+            self._publish()
+            return self.snapshot(), fraction, dropped
+
     def _publish(self) -> None:
         """Record the new version's bookkeeping (caller holds the lock)."""
         self._data_version += 1
         self._versions[self._data_version] = _VersionInfo(
-            num_rows=self._num_rows,
+            appended_total=self._appended_total,
+            removed_total=self._removed_total,
+            live_rows=self._live_rows,
             num_chunks=len(self._columns[0].chunks),
             ndv=tuple(state.distinct_values.size for state in self._columns),
             dtype_kinds=tuple(state.distinct_values.dtype.kind
                               for state in self._columns),
+            tombstones=tuple(self._tombstones),
+            epoch=self._chunk_epoch,
         )
         self._snapshot_cache.clear()
 
@@ -383,7 +625,7 @@ class ColumnStore:
     # Snapshots and deltas
     # ------------------------------------------------------------------
     def snapshot(self) -> Snapshot:
-        """The current state as an immutable, versioned :class:`Table`."""
+        """The current live rows as an immutable, versioned :class:`Table`."""
         with self._lock:
             version = self._data_version
             cached = self._snapshot_cache.get(version)
@@ -392,7 +634,7 @@ class ColumnStore:
             columns = [
                 Column(name=state.name,
                        distinct_values=state.distinct_values,
-                       codes=self._materialise(state.chunks))
+                       codes=self._materialise_live(state.chunks))
                 for state in self._columns
             ]
             snapshot = Snapshot(self.name, columns, version, store=self)
@@ -400,54 +642,106 @@ class ColumnStore:
             self._live_snapshots[version] = snapshot
             return snapshot
 
-    @staticmethod
-    def _materialise(chunks: list[np.ndarray]) -> np.ndarray:
+    def _materialise_live(self, chunks: list[np.ndarray]) -> np.ndarray:
+        """Concatenate the live rows of ``chunks`` (caller holds the lock)."""
         if not chunks:
             return np.empty(0, dtype=np.int64)
-        if len(chunks) == 1:
-            return chunks[0]  # chunks are immutable; sharing is safe
-        return np.concatenate(chunks)
+        parts = [chunk if tombstone is None else chunk[~tombstone]
+                 for chunk, tombstone in zip(chunks, self._tombstones)]
+        if len(parts) == 1:
+            return parts[0]  # chunks are immutable; sharing is safe
+        return np.concatenate(parts)
 
     def delta(self, base_version: int | Snapshot) -> TableDelta:
         """What changed between ``base_version`` and the current version.
 
-        The appended rows come back encoded against the **current** domains,
-        so the delta table drops straight into the labeling kernel and the
-        virtual-table sampler.  An unknown base version degrades to the
-        empty store (everything is an append).
+        Both sides come back encoded against the **current** domains, so the
+        delta tables drop straight into the labeling kernel and the
+        virtual-table sampler: ``appended`` holds the rows appended since
+        the base *and still live*, ``removed`` the rows that were live at
+        the base but are tombstoned now (per-chunk tombstone-bitmap diffs
+        against the base version's published bitmaps).  An unknown base
+        version — trimmed metadata, a foreign version, or a base from
+        before the last :meth:`compact` — degrades to the empty store
+        (everything live is an append, nothing is removed).
         """
         if isinstance(base_version, Snapshot):
             base_version = base_version.data_version
         base_version = int(base_version)
         with self._lock:
             base = self._versions.get(base_version)
-            if base is None:
-                base, base_version = self._versions[0], 0
+            if base is None or base.epoch != self._chunk_epoch:
+                base = self._versions[0]
+                base_version = 0
+                if base.epoch != self._chunk_epoch:
+                    # Version 0 itself predates a compaction: synthesise the
+                    # empty base in the current epoch (same degradation).
+                    base = _VersionInfo(
+                        appended_total=0, removed_total=0, live_rows=0,
+                        num_chunks=0,
+                        ndv=tuple(0 for _ in self._columns),
+                        dtype_kinds=tuple("i" for _ in self._columns),
+                        tombstones=(), epoch=self._chunk_epoch)
+            chunks = self._columns[0].chunks
+            # Chunk boundaries align with appends (remaps preserve the
+            # partitioning and deletes never touch chunk arrays), so the
+            # appended rows are exactly the chunks past the base version's
+            # count — filtered down to the ones still live.
+            appended_keep: list[np.ndarray | None] = []
+            for position in range(base.num_chunks, len(chunks)):
+                tombstone = self._tombstones[position]
+                appended_keep.append(None if tombstone is None else ~tombstone)
+            # Removed rows live in the base's chunks: the bitmap diff between
+            # the current tombstones and the ones published with the base.
+            removed_pick: list[tuple[int, np.ndarray]] = []
+            for position in range(base.num_chunks):
+                current = self._tombstones[position]
+                if current is None:
+                    continue
+                base_tombstone = base.tombstones[position]
+                diff = (current if base_tombstone is None
+                        else current & ~base_tombstone)
+                if diff.any():
+                    removed_pick.append((position, diff))
             appended_columns = []
+            removed_columns = []
             grown: list[str] = []
             promoted: list[str] = []
             for index, state in enumerate(self._columns):
-                # Chunk boundaries align with appends (and remaps preserve
-                # the partitioning), so the appended rows are exactly the
-                # chunks past the base version's count — no base-row copy.
-                codes = self._materialise(state.chunks[base.num_chunks:])
+                parts = [chunk if keep is None else chunk[keep]
+                         for chunk, keep
+                         in zip(state.chunks[base.num_chunks:], appended_keep)]
+                codes = (np.concatenate(parts) if len(parts) > 1
+                         else parts[0] if parts
+                         else np.empty(0, dtype=np.int64))
                 appended_columns.append(Column(name=state.name,
                                                distinct_values=state.distinct_values,
                                                codes=codes))
+                if removed_pick:
+                    removed_codes = np.concatenate(
+                        [state.chunks[position][diff]
+                         for position, diff in removed_pick])
+                    removed_columns.append(Column(
+                        name=state.name,
+                        distinct_values=state.distinct_values,
+                        codes=removed_codes))
                 if state.distinct_values.size != base.ndv[index]:
                     grown.append(state.name)
-                # Promotion only matters when the base actually had rows:
-                # counts over an empty base are trivially reusable whatever
-                # the dtype became (and version 0's recorded kinds are just
-                # the empty-store placeholders).
-                if (base.num_rows
+                # Promotion only matters when the base actually had live
+                # rows: counts over an empty base are trivially reusable
+                # whatever the dtype became (and version 0's recorded kinds
+                # are just the empty-store placeholders).
+                if (base.live_rows
                         and state.distinct_values.dtype.kind != base.dtype_kinds[index]):
                     promoted.append(state.name)
             appended = Table(f"{self.name}_delta", appended_columns)
+            removed = (Table(f"{self.name}_removed", removed_columns)
+                       if removed_columns else None)
             return TableDelta(base_version=base_version,
                               new_version=self._data_version,
-                              base_rows=base.num_rows,
+                              base_rows=base.live_rows,
                               appended=appended,
+                              removed=removed,
                               grown_columns=tuple(grown),
                               promoted_columns=tuple(promoted))
 

@@ -94,6 +94,38 @@ class Table:
         indices = rng.integers(0, self.num_rows, size=count)
         return self.code_matrix()[indices]
 
+    def select(self, rows, name: str | None = None) -> "Table":
+        """Return a new table holding only ``rows`` (mask or index array).
+
+        The row-wise sibling of :meth:`project`: a boolean mask over this
+        table's rows, or an array of row indices (order-preserving, repeats
+        allowed).  Dictionaries are shared, codes are gathered per column.
+        """
+        selector = np.asarray(rows)
+        if selector.dtype == bool:
+            if selector.shape != (self.num_rows,):
+                raise ValueError(
+                    f"selection mask has shape {selector.shape} but table "
+                    f"{self.name!r} holds {self.num_rows} rows")
+            selector = np.flatnonzero(selector)
+        else:
+            if selector.size and selector.dtype.kind not in ("i", "u"):
+                raise TypeError(
+                    f"row selector must be a boolean mask or integer "
+                    f"indices, got dtype {selector.dtype}")
+            selector = (selector.astype(np.int64) if selector.size
+                        else np.empty(0, dtype=np.int64))
+            if selector.size and (selector.min() < 0
+                                  or selector.max() >= self.num_rows):
+                raise IndexError(
+                    f"row indices out of range for table {self.name!r} "
+                    f"with {self.num_rows} rows")
+        columns = [Column(name=column.name,
+                          distinct_values=column.distinct_values,
+                          codes=column.codes[selector])
+                   for column in self.columns]
+        return Table(name or f"{self.name}_selection", columns)
+
     def project(self, column_names: Sequence[str], name: str | None = None) -> "Table":
         """Return a new table containing only ``column_names`` (in that order)."""
         columns = [self.column(column_name) for column_name in column_names]

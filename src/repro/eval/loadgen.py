@@ -122,7 +122,7 @@ def run_load_test(service: EstimationService, workload: Workload,
 
 @dataclass(frozen=True)
 class SoakReport:
-    """Result of one lifecycle soak: traffic + appends + autonomous tuning."""
+    """Result of one lifecycle soak: traffic + mutations + autonomous tuning."""
 
     duration_seconds: float
     num_requests: int
@@ -136,34 +136,42 @@ class SoakReport:
     final_staleness: int
     final_data_version: int | None
     event_counts: dict
+    deletes_applied: int = 0
+    delete_errors: int = 0
+    compactions: int = 0
 
     def __str__(self) -> str:
-        appends = (f"{self.appends_applied} appends"
-                   if not self.append_errors
-                   else f"{self.appends_applied} appends "
-                        f"({self.append_errors} failed)")
+        def _mutations(applied: int, failed: int, noun: str) -> str:
+            label = f"{applied} {noun}"
+            return label if not failed else f"{label} ({failed} failed)"
+
         return (f"soak {self.duration_seconds:.1f}s: {self.num_requests} requests "
                 f"({self.qps:.0f} qps, {self.errors} errors), "
-                f"{appends}, {self.refreshes} refreshes, "
-                f"{self.cold_trains} cold trains, "
+                f"{_mutations(self.appends_applied, self.append_errors, 'appends')}, "
+                f"{_mutations(self.deletes_applied, self.delete_errors, 'deletes')}, "
+                f"{self.refreshes} refreshes, {self.cold_trains} cold trains, "
+                f"{self.compactions} compactions, "
                 f"final staleness {self.final_staleness} rows")
 
 
 def run_soak(service: EstimationService, workload: Workload, *,
              duration_seconds: float, concurrency: int = 4,
-             appends=(), scheduler=None, seed: int = 0) -> SoakReport:
+             appends=(), deletes=(), scheduler=None,
+             seed: int = 0) -> SoakReport:
     """Serve continuous traffic while the data mutates underneath.
 
     The lifecycle-aware counterpart of :func:`run_load_test`: worker threads
     issue ``estimate()`` requests sampled from ``workload`` for
-    ``duration_seconds`` while a driver thread applies ``appends`` — a
-    sequence of ``(at_seconds, apply)`` pairs whose ``apply()`` callables
-    mutate the service's store (skewed batches, domain-growing batches, …)
-    at the given offsets.  A running :class:`~repro.lifecycle.RefreshScheduler`
-    (pass it as ``scheduler`` so its event counters land in the report) is
-    expected to absorb the mutations autonomously; the report's ``errors``
-    field is the acceptance signal — an autonomous swap must never fail a
-    request.
+    ``duration_seconds`` while a driver thread applies ``appends`` and
+    ``deletes`` — sequences of ``(at_seconds, apply)`` pairs whose
+    ``apply()`` callables mutate the service's store (skewed batches,
+    domain-growing batches, tombstoning deletes, …) at the given offsets;
+    the two streams are merged into one timeline but counted separately in
+    the report.  A running :class:`~repro.lifecycle.RefreshScheduler` (pass
+    it as ``scheduler`` so its event counters land in the report) is
+    expected to absorb the mutations autonomously — including compacting a
+    tombstone-heavy store; the report's ``errors`` field is the acceptance
+    signal — an autonomous swap must never fail a request.
     """
     if duration_seconds <= 0:
         raise ValueError("duration_seconds must be positive")
@@ -172,11 +180,15 @@ def run_soak(service: EstimationService, workload: Workload, *,
     if len(workload) == 0:
         raise ValueError("cannot soak with an empty workload")
 
-    schedule = sorted(appends, key=lambda pair: pair[0])
+    schedule = sorted(
+        [(at_seconds, apply, "append") for at_seconds, apply in appends]
+        + [(at_seconds, apply, "delete") for at_seconds, apply in deletes],
+        key=lambda entry: entry[0])
     stop = threading.Event()
     counts = [0] * concurrency
     errors = [0] * concurrency
-    applied = [0]
+    applied = {"append": 0, "delete": 0}
+    mutation_errors = {"append": 0, "delete": 0}
     before = service.snapshot()
 
     def worker(worker_index: int) -> None:
@@ -189,19 +201,17 @@ def run_soak(service: EstimationService, workload: Workload, *,
                 errors[worker_index] += 1
             counts[worker_index] += 1
 
-    append_errors = [0]
-
     def driver(started_at: float) -> None:
-        for at_seconds, apply in schedule:
+        for at_seconds, apply, kind in schedule:
             delay = started_at + at_seconds - time.perf_counter()
             if delay > 0 and stop.wait(delay):
                 return
             try:
                 apply()
-            except Exception:  # noqa: BLE001 — one bad append must not
-                append_errors[0] += 1  # silently cancel the rest
+            except Exception:  # noqa: BLE001 — one bad mutation must not
+                mutation_errors[kind] += 1  # silently cancel the rest
             else:
-                applied[0] += 1
+                applied[kind] += 1
 
     threads = [threading.Thread(target=worker, args=(index,), daemon=True)
                for index in range(concurrency)]
@@ -224,13 +234,16 @@ def run_soak(service: EstimationService, workload: Workload, *,
         num_requests=sum(counts),
         errors=sum(errors),
         qps=sum(counts) / elapsed,
-        appends_applied=applied[0],
-        append_errors=append_errors[0],
+        appends_applied=applied["append"],
+        append_errors=mutation_errors["append"],
+        deletes_applied=applied["delete"],
+        delete_errors=mutation_errors["delete"],
         model_swaps=after.model_swaps - before.model_swaps,
         refreshes=event_counts.get("refresh", 0),
         cold_trains=sum(1 for event in (scheduler.events.events("cold_train")
                                         if scheduler is not None else ())
                         if event.details.get("status") == "swapped"),
+        compactions=event_counts.get("compaction", 0),
         final_staleness=service.staleness(),
         final_data_version=service.data_version,
         event_counts=event_counts,

@@ -1,7 +1,7 @@
 """Autonomous lifecycle controller: the control plane over store → serving.
 
 PR 3 made the data mutable and the model refreshable; this package makes
-the loop close itself.  Four cooperating parts:
+the loop close itself.  Five cooperating parts:
 
 * :class:`DriftMonitor` — taps the served query stream into a sliding-window
   probe set, relabels it incrementally against the live store, and combines
@@ -15,7 +15,11 @@ the loop close itself.  Four cooperating parts:
   a :class:`~repro.data.DomainGrowthError`, a fresh model is trained on the
   new snapshot in the background and swapped in atomically;
 * :class:`RetentionPolicy` — prunes superseded registry versions and trims
-  unreachable store version metadata after every successful tune.
+  unreachable store version metadata after every successful tune;
+* :class:`CompactionPolicy` — when deletes push the store's tombstone
+  fraction past the policy threshold, rewrites the chunks to drop dead rows
+  and escalates to the cold-train/swap path (deltas cannot span the new
+  chunk layout).
 
 Everything the controller does lands in a structured :class:`EventLog`.
 All knobs live in :class:`~repro.core.LifecyclePolicy`.
@@ -31,6 +35,7 @@ Quickstart::
 """
 
 from .coldtrain import ColdTrainResult, cold_train_and_swap, start_cold_train
+from .compaction import CompactionPolicy, CompactionReport
 from .events import EventLog, LifecycleEvent
 from .monitor import DriftMetrics, DriftMonitor, RefreshDecision
 from .retention import RetentionPolicy, RetentionReport
@@ -48,4 +53,6 @@ __all__ = [
     "start_cold_train",
     "RetentionPolicy",
     "RetentionReport",
+    "CompactionPolicy",
+    "CompactionReport",
 ]

@@ -1,0 +1,75 @@
+"""Compaction policy: reclaim tombstoned rows and restart from a clean slate.
+
+Deletes are logical — :meth:`~repro.data.ColumnStore.delete` only flips
+per-chunk tombstone bits, so a delete-heavy workload accumulates dead rows
+that every snapshot materialisation and delta computation still pays for.
+The :class:`CompactionPolicy` watches the store's
+:attr:`~repro.data.ColumnStore.tombstone_fraction`; past the threshold the
+scheduler rewrites the chunks (:meth:`~repro.data.ColumnStore.compact`)
+and escalates to the existing background cold-train/swap path, because
+
+* deltas cannot span a compaction (the chunk layout changed; a fine-tune
+  against a pre-compaction base would degrade to everything-is-new), and
+* negative-replay fine-tuning is an approximation that drifts under heavy
+  deletes — a cold train on the compacted live view resets it exactly.
+
+Both steps land in the :class:`~repro.lifecycle.EventLog` (``compaction``
+then the usual ``cold_train`` pair) and never raise into serving.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.config import LifecyclePolicy
+
+__all__ = ["CompactionReport", "CompactionPolicy"]
+
+
+@dataclass(frozen=True)
+class CompactionReport:
+    """What one compaction rewrote."""
+
+    tombstone_fraction: float    #: dead fraction measured before the rewrite
+    dropped_rows: int            #: physical rows reclaimed
+    data_version: int            #: store version published by the rewrite
+
+    @property
+    def compacted(self) -> bool:
+        return self.dropped_rows > 0
+
+
+class CompactionPolicy:
+    """Decides when a store's tombstone debt is worth a rewrite."""
+
+    def __init__(self, policy: LifecyclePolicy | None = None) -> None:
+        self.policy = policy or LifecyclePolicy()
+
+    def should_compact(self, store) -> bool:
+        """Whether ``store`` has crossed the policy's tombstone threshold."""
+        threshold = self.policy.compact_tombstone_fraction
+        if threshold is None or store is None:
+            return False
+        return store.tombstone_fraction >= threshold
+
+    def compact(self, service) -> CompactionReport:
+        """Rewrite the service's store now; returns what was reclaimed.
+
+        Unconditional (the caller decides *when* via :meth:`should_compact`);
+        the live view is unchanged bit-for-bit, so serving continues against
+        whatever snapshot it holds.  The caller is expected to follow up
+        with a cold train: the served model's delta base cannot survive the
+        chunk-layout change.
+        """
+        store = service.store
+        if store is None:
+            raise RuntimeError("compaction needs a service with a live "
+                               "ColumnStore")
+        # Measured atomically with the rewrite: mutations racing this call
+        # cannot skew the reported fraction or make dropped_rows go negative.
+        snapshot, fraction, dropped = store.compact_measured()
+        return CompactionReport(
+            tombstone_fraction=fraction,
+            dropped_rows=dropped,
+            data_version=snapshot.data_version,
+        )

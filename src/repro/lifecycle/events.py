@@ -23,7 +23,8 @@ __all__ = ["LifecycleEvent", "EventLog"]
 EVENT_KINDS = (
     "decision",      # one policy evaluation (fired or not)
     "refresh",       # incremental fine-tune + hot-swap completed
-    "cold_train",    # domain growth escalated to a full retrain + swap
+    "cold_train",    # domain growth/compaction escalated to a retrain + swap
+    "compaction",    # tombstoned rows physically dropped from the store
     "retention",     # registry prune and/or store version trim
     "error",         # a tune failed for a non-escalatable reason
 )

@@ -4,15 +4,15 @@ The :class:`DriftMonitor` taps an :class:`~repro.serving.EstimationService`
 through the observer hook and samples served queries into a sliding-window
 *probe set*.  When asked for a decision it measures two independent things:
 
-* **staleness** — rows appended to the live store since the served model's
-  ``data_version``, absolute and as a fraction of the rows the model was
-  trained on;
+* **staleness** — rows churned (appended *and* deleted) in the live store
+  since the served model's ``data_version``, absolute and as a fraction of
+  the rows the model was trained on;
 * **observed accuracy** — the probe queries' median Q-Error against fresh
   ground truth.  Truth is maintained *incrementally*: the monitor keeps the
   probe counts labeled at some store version and rolls them forward with
   :func:`~repro.workload.true_cardinalities_delta`, scanning only the rows
-  appended since — the same trick that makes fine-tuning cheap makes
-  monitoring cheap.
+  churned since (appended counts added, tombstoned counts subtracted) — the
+  same trick that makes fine-tuning cheap makes monitoring cheap.
 
 Both signals are folded into a typed :class:`RefreshDecision` according to a
 :class:`~repro.core.LifecyclePolicy`; the scheduler acts on it.
@@ -40,8 +40,8 @@ class DriftMetrics:
 
     data_version: int | None     #: store version the served model was trained on
     store_version: int           #: live store version at evaluation time
-    stale_rows: int              #: rows appended since ``data_version``
-    trained_rows: int            #: rows the served model was trained on
+    stale_rows: int              #: rows churned (appended+removed) since ``data_version``
+    trained_rows: int            #: live rows the served model was trained on
     stale_fraction: float        #: ``stale_rows / trained_rows``
     probe_size: int              #: probe queries the Q-Error was measured over
     median_qerror: float | None  #: probe median Q-Error (None: probe too small)
@@ -130,10 +130,11 @@ class DriftMonitor:
     def _labeled_counts(self, probes: tuple[Query, ...]) -> np.ndarray:
         """Ground-truth counts of ``probes`` at the store's current version.
 
-        Rolls the cached labels forward through the append delta when the
-        probe set is unchanged (one scan of the appended rows); any change
-        of probe set, a trimmed base version, or a dtype promotion falls
-        back to a full labeling of the current snapshot.
+        Rolls the cached labels forward through the mutation delta when the
+        probe set is unchanged (one scan of the churned rows — appended
+        counts added, removed counts subtracted); any change of probe set,
+        a trimmed or compacted-away base version, or a dtype promotion
+        falls back to a full labeling of the current snapshot.
         """
         store = self.service.store
         cached = self._labels
@@ -176,7 +177,12 @@ class DriftMonitor:
         store = self.service.store
         stale_rows = self.service.staleness()
         store_version = store.data_version
-        trained_rows = max(store.num_rows - stale_rows, 0)
+        # Live rows at the trained version (exact even when deletes shrank
+        # the live set since); a trimmed/unknown version degrades to the
+        # old approximation from the current live count.
+        trained_rows = store.live_rows_at(self.service.data_version)
+        if trained_rows is None:
+            trained_rows = max(store.num_rows - stale_rows, 0)
         probes = self.probe_queries
         wants_qerror = (self.policy.qerror_median_threshold is not None
                         or self.policy.qerror_drift_factor is not None)

@@ -21,7 +21,13 @@ rails a production control plane needs:
   domain growth degrades to eventual freshness instead of an exception;
 * **retention** — after every successful tune the
   :class:`~repro.lifecycle.RetentionPolicy` prunes superseded registry
-  versions and trims unreachable store version metadata.
+  versions and trims unreachable store version metadata;
+* **compaction** — when deletes push the store's tombstone fraction past
+  :attr:`LifecyclePolicy.compact_tombstone_fraction`, the
+  :class:`~repro.lifecycle.CompactionPolicy` rewrites the chunks to drop
+  dead rows and escalates to the same background cold-train/swap path
+  (deltas cannot span a compaction, and a clean retrain erases the
+  approximation negative-replay fine-tuning accumulates).
 
 Every step is recorded in the :class:`~repro.lifecycle.EventLog`; nothing
 the loop does can raise into (or block) the serving path.
@@ -35,6 +41,7 @@ import time
 from ..core.config import LifecyclePolicy
 from ..data.store import DomainGrowthError
 from .coldtrain import ColdTrainResult, start_cold_train
+from .compaction import CompactionPolicy
 from .events import EventLog, LifecycleEvent
 from .monitor import DriftMonitor, RefreshDecision
 from .retention import RetentionPolicy
@@ -49,6 +56,7 @@ class RefreshScheduler:
                  monitor: DriftMonitor | None = None,
                  events: EventLog | None = None,
                  retention: RetentionPolicy | None = None,
+                 compaction: CompactionPolicy | None = None,
                  seed: int = 0) -> None:
         self.service = service
         self.policy = policy or (monitor.policy if monitor is not None
@@ -56,6 +64,7 @@ class RefreshScheduler:
         self.monitor = monitor or DriftMonitor(service, self.policy, seed=seed)
         self.events = events or EventLog()
         self.retention = retention or RetentionPolicy(self.policy)
+        self.compaction = compaction or CompactionPolicy(self.policy)
         self._thread: threading.Thread | None = None
         self._stop = threading.Event()
         # Backpressure: holders of this lock are "the one tune in flight".
@@ -114,6 +123,9 @@ class RefreshScheduler:
         pending = self._finalise_cold_train()
         if pending is not None:
             return pending
+        compacted = self._maybe_compact()
+        if compacted is not None:
+            return compacted
         decision = self.monitor.decide()
         action = self._action_for(decision)
         event = self.events.record(
@@ -186,6 +198,46 @@ class RefreshScheduler:
             self._after_tune()
         finally:
             self._consecutive_hits = 0
+            self._last_tune_at = time.monotonic()
+            self._tune_lock.release()
+
+    def _maybe_compact(self) -> LifecycleEvent | None:
+        """Compact a tombstone-heavy store and escalate; ``None`` when idle.
+
+        Compaction is cheap but the cold train it escalates to is not, so
+        the check respects the tune cooldown and the at-most-one-tune rule
+        (the tombstone fraction persists, so a skipped opportunity simply
+        fires on a later poll).  Like every scheduler action it is
+        error-contained: a failure is logged and serving continues against
+        the uncompacted store.
+        """
+        if not self.compaction.should_compact(getattr(self.service, "store",
+                                                      None)):
+            return None
+        if self._in_cooldown():
+            return None
+        if not self._tune_lock.acquire(blocking=False):
+            return None
+        try:
+            report = self.compaction.compact(self.service)
+            event = self.events.record(
+                "compaction",
+                tombstone_fraction=round(report.tombstone_fraction, 4),
+                dropped_rows=report.dropped_rows,
+                data_version=report.data_version)
+            # The served model's delta base predates the new chunk layout:
+            # fine-tuning can no longer see what changed, so go straight to
+            # the background cold-train/swap path.
+            self._cold_train = start_cold_train(
+                self.service, epochs=self.policy.cold_train_epochs,
+                throttle=self._make_throttle())
+            self.events.record("cold_train", status="started",
+                               reason="compaction")
+            return event
+        except Exception as error:  # noqa: BLE001 — log, keep serving
+            return self.events.record("error", stage="compaction",
+                                      error=repr(error))
+        finally:
             self._last_tune_at = time.monotonic()
             self._tune_lock.release()
 

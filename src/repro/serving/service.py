@@ -245,10 +245,13 @@ class EstimationService:
     # Data lifecycle: staleness and refresh
     # ------------------------------------------------------------------
     def staleness(self) -> int:
-        """Rows appended to the store since the served model was trained.
+        """Rows churned in the store since the served model was trained.
 
-        ``0`` for a service without a live store (static data can't go
-        stale).  A model with no recorded ``data_version`` is counted as
+        Churn counts both appends *and* deletes — a model is equally stale
+        whichever way the live set moved, so a pure-delete workload drives
+        staleness (and with it the refresh triggers) exactly like an append
+        burst.  ``0`` for a service without a live store (static data can't
+        go stale).  A model with no recorded ``data_version`` is counted as
         trained on the empty store: every current row is stale.
         """
         if self.store is None:
@@ -259,10 +262,11 @@ class EstimationService:
                 replay_fraction: float | None = None,
                 version: str | None = None,
                 throttle=None) -> RegistryEntry | None:
-        """Absorb appended data: fine-tune, re-register, hot-swap, invalidate.
+        """Absorb churned data: fine-tune, re-register, hot-swap, invalidate.
 
         Runs :meth:`DuetTrainer.fine_tune` over the delta between the served
-        model's ``data_version`` and the store's current snapshot.  The
+        model's ``data_version`` and the store's current snapshot — appended
+        rows trained on directly, removed rows replayed as negatives.  The
         fine-tune happens on a parameter *clone*, so concurrent traffic —
         compiled or tape path — keeps reading the untouched original until
         the single attribute swap at the end; then the serving plan is
@@ -275,8 +279,8 @@ class EstimationService:
         every optimiser step); the lifecycle scheduler uses it to make the
         tune yield to serving threads in bounded batch slices.
 
-        Returns the new :class:`RegistryEntry` (``None`` when nothing was
-        appended, or when no registry is attached).  Raises
+        Returns the new :class:`RegistryEntry` (``None`` when nothing
+        churned, or when no registry is attached).  Raises
         :class:`~repro.data.DomainGrowthError` when an append grew a
         column's domain — that case needs a cold train, which no amount of
         fine-tuning can replace.
@@ -290,16 +294,17 @@ class EstimationService:
             raise RuntimeError(
                 f"estimator {self.estimator.name!r} has no trainable model; "
                 f"refresh() supports Duet estimators")
-        # Fast path: nothing appended since the served data_version — skip
-        # the snapshot/delta materialisation, the pointless fine-tune, and
-        # (crucially) the cache flush that would evict perfectly valid
-        # entries.  Raced appends are caught again under the lock below.
+        # Fast path: nothing churned (appended *or* deleted) since the
+        # served data_version — skip the snapshot/delta materialisation, the
+        # pointless fine-tune, and (crucially) the cache flush that would
+        # evict perfectly valid entries.  Raced mutations are caught again
+        # under the lock below.
         if self.staleness() == 0:
             return None
         with self._refresh_lock:
             snapshot = self.store.snapshot()
             delta = self.store.delta(self.data_version or 0)
-            if delta.appended_rows == 0 and not delta.domains_grew:
+            if delta.churned_rows == 0 and not delta.domains_grew:
                 return None
             # Tune a clone so in-flight requests keep reading the original
             # weights; clone() raises the typed DomainGrowthError when the

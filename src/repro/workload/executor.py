@@ -120,14 +120,17 @@ def true_cardinalities(table: Table, queries: Sequence[Query],
 def true_cardinalities_delta(delta: TableDelta, queries: Sequence[Query],
                              base_counts: np.ndarray,
                              chunk_size: int = 32) -> np.ndarray:
-    """Relabel a workload after an append by scanning only the appended rows.
+    """Relabel a workload after a mutation by scanning only the changed rows.
 
     ``base_counts`` must be the exact counts of ``queries`` on the delta's
-    base snapshot (``true_cardinalities(base_snapshot, queries)``).  Counts
-    are additive over disjoint row sets and predicates compare *raw* values
-    (dictionary growth re-codes rows but never changes which rows satisfy a
-    predicate), so labeling the appended chunk with the same vectorised
-    kernel and adding matches a full rescan of the new snapshot bit-for-bit.
+    base snapshot (``true_cardinalities(base_snapshot, queries)``).  The new
+    live view is ``(base \\ removed) ∪ appended`` with the three sets
+    pairwise disjoint, counts are additive over disjoint row sets, and
+    predicates compare *raw* values (dictionary growth re-codes rows but
+    never changes which rows satisfy a predicate) — so labeling the appended
+    rows and the removed rows with the same vectorised kernel and computing
+    ``base + appended - removed`` matches a full rescan of the new live view
+    bit-for-bit, at the cost of scanning only the churned rows.
 
     The one case that breaks value semantics is a dtype *promotion* (e.g. a
     numeric column turned into strings by a later append): string comparison
@@ -145,10 +148,14 @@ def true_cardinalities_delta(delta: TableDelta, queries: Sequence[Query],
             f"columns {list(delta.promoted_columns)} changed dtype between the "
             f"base and new snapshots; base counts are not reusable — relabel "
             f"with true_cardinalities on the new snapshot")
-    if delta.appended_rows == 0:
-        return base_counts.copy()
-    return base_counts + true_cardinalities(delta.appended, queries,
-                                            chunk_size=chunk_size)
+    counts = base_counts.copy()
+    if delta.appended_rows:
+        counts += true_cardinalities(delta.appended, queries,
+                                     chunk_size=chunk_size)
+    if delta.removed_rows:
+        counts -= true_cardinalities(delta.removed, queries,
+                                     chunk_size=chunk_size)
+    return counts
 
 
 def _interval_index(table: Table, queries: Sequence[Query]

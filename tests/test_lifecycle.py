@@ -142,6 +142,32 @@ class TestEndToEndLifecycle:
             assert len(service.cache) == 1       # valid entries survive
             assert registry.versions("lifecycle") == ["v1"]
 
+    def test_refresh_after_pure_delete_tunes_and_invalidates(self, store,
+                                                             tmp_path):
+        """Regression (the old fast path only counted appended rows): a
+        pure delete must register as staleness and drive a real refresh —
+        fine-tune with negative replay, re-register, hot-swap, cache
+        flush."""
+        base = store.snapshot()
+        model = DuetModel(base, CONFIG)
+        DuetTrainer(model, base, config=CONFIG).train(1)
+        registry = ModelRegistry(tmp_path)
+        registry.save(model, dataset="lifecycle")
+        with EstimationService.from_registry(registry, "lifecycle",
+                                             store=store) as service:
+            probe = Query.from_triples([("age", ">=", 30)])
+            service.estimate(probe)
+            assert len(service.cache) == 1
+            store.delete(np.arange(80))
+            assert service.staleness() == 80
+            entry = service.refresh()
+            assert entry is not None
+            assert entry.data_version == store.data_version
+            assert service.staleness() == 0
+            assert len(service.cache) == 0          # stale entries flushed
+            assert service.table.num_rows == store.num_rows == 320
+            assert registry.latest_version("lifecycle") == entry.version
+
     def test_refresh_requires_a_store(self):
         estimator = DuetEstimator(DuetModel(
             Table.from_dict("static", {"a": [1, 2, 3]}), CONFIG))
@@ -169,6 +195,41 @@ class TestFineTune:
         # Only the training slice is gathered, not the whole code matrix.
         assert trainer._codes.shape == (150, snapshot.num_columns)
         assert model.table is snapshot  # rebound to the new snapshot
+
+    def test_fine_tune_mixed_delta_trains_positives_and_negatives(self, store):
+        base = store.snapshot()
+        model = DuetModel(base, CONFIG)
+        DuetTrainer(model, base, config=CONFIG).train(1)
+        _append_in_domain(store, 100, seed=3)
+        store.delete(np.arange(60))             # 60 base rows tombstoned
+        snapshot = store.snapshot()
+        delta = store.delta(base)
+        assert delta.appended_rows == 100 and delta.removed_rows == 60
+        trainer, history = DuetTrainer.fine_tune(snapshot, model, delta,
+                                                 epochs=1, replay_fraction=0.25)
+        assert len(history.epochs) == 1
+        # Positives: 100 appended + round(0.25 * 160) replay of survivors.
+        assert trainer.train_row_indices.size == 140
+        assert (trainer.train_row_indices >= delta.surviving_base_rows).sum() == 100
+        assert (trainer.train_row_indices < delta.surviving_base_rows).sum() == 40
+        # Negatives: the removed rows' code matrix.
+        assert trainer._negative_codes.shape == (60, snapshot.num_columns)
+        assert model.table is snapshot
+
+    def test_fine_tune_pure_delete_replays_survivors(self, store):
+        base = store.snapshot()
+        model = DuetModel(base, CONFIG)
+        DuetTrainer(model, base, config=CONFIG).train(1)
+        store.delete(np.arange(100))
+        snapshot = store.snapshot()
+        delta = store.delta(base)
+        assert delta.appended_rows == 0 and delta.removed_rows == 100
+        trainer, _ = DuetTrainer.fine_tune(snapshot, model, delta, epochs=1,
+                                           replay_fraction=0.5)
+        # Positive side falls back to a replay sample of surviving rows.
+        assert trainer.train_row_indices.size == 50
+        assert trainer.train_row_indices.max() < delta.surviving_base_rows
+        assert trainer._negative_codes.shape == (100, snapshot.num_columns)
 
     def test_fine_tune_rejects_domain_growth(self, store):
         base = store.snapshot()

@@ -1,12 +1,16 @@
-"""Concurrent refresh() vs estimate()/estimate_batch() under threaded load.
+"""Concurrent refresh()/delete() vs estimate()/estimate_batch() under load.
 
 The swap contract of the serving layer: requests racing a hot-swap never
 fail, never see torn state (an estimate produced by half-old, half-new
 model attributes), and the cache namespace always matches the served
 ``(model_version, data_version)`` identity whenever no swap is mid-flight.
+Deletes extend the contract: tombstone bitmaps are immutable and replaced
+atomically under the store lock, so no estimate is ever served against a
+half-applied delete.
 """
 
 import threading
+import time
 
 import numpy as np
 import pytest
@@ -49,6 +53,16 @@ def _append_in_domain(store, count, seed):
             rng.integers(0, snapshot.column(name).num_distinct, size=count)]
         for name in snapshot.column_names
     })
+
+
+def _delete_random(store, count, seed):
+    """Tombstone ``count`` random live rows (clamped to the live view)."""
+    rng = np.random.default_rng(seed)
+    live = store.num_rows
+    count = min(count, max(live - 1, 0))
+    if count == 0:
+        return store.snapshot()
+    return store.delete(rng.choice(live, size=count, replace=False))
 
 
 class TestConcurrentRefresh:
@@ -149,6 +163,93 @@ class TestConcurrentRefresh:
         service.estimate(query)
         assert service.cache.get(service._keys.key(query)) is not None
         assert service.cache.get(stale_key) is None
+
+    def test_threaded_deletes_with_estimates_and_refreshes(self, serving_stack):
+        """Deletes, appends, estimate()/estimate_batch() and refresh() race.
+
+        The delete contract under concurrency: tombstone bitmaps are
+        immutable (a delete publishes replacement bitmaps under the store
+        lock), so no estimate is ever computed against a half-applied
+        delete — readers either see the snapshot from before the delete or
+        the one from after, and every estimate stays finite and
+        non-negative.  A sampler thread simultaneously checks the cache
+        namespace invariant across the delete-triggered swaps.
+        """
+        service, store, workload = serving_stack
+        stop = threading.Event()
+        failures: list[BaseException] = []
+        mismatches: list[tuple] = []
+        samples = [0]
+
+        def reader(seed: int) -> None:
+            rng = np.random.default_rng(seed)
+            while not stop.is_set():
+                try:
+                    if rng.random() < 0.3:
+                        batch = [workload.queries[int(index)] for index in
+                                 rng.integers(0, len(workload), size=4)]
+                        estimates = service.estimate_batch(batch)
+                        assert np.isfinite(estimates).all()
+                        assert (estimates >= 0.0).all()
+                    else:
+                        query = workload.queries[
+                            int(rng.integers(0, len(workload)))]
+                        estimate = service.estimate(query)
+                        assert np.isfinite(estimate) and estimate >= 0.0
+                except BaseException as error:  # noqa: BLE001
+                    failures.append(error)
+
+        def mutator() -> None:
+            seed = 100
+            while not stop.is_set():
+                try:
+                    seed += 1
+                    if seed % 3 == 0:
+                        _append_in_domain(store, 30, seed=seed)
+                    else:
+                        _delete_random(store, 25, seed=seed)
+                except BaseException as error:  # noqa: BLE001
+                    failures.append(error)
+
+        def sampler() -> None:
+            while not stop.is_set():
+                with service._refresh_lock:
+                    namespace = service._keys.namespace
+                    expected = (service.dataset, service.model_version,
+                                service.data_version)
+                if namespace != expected:
+                    mismatches.append((namespace, expected))
+                samples[0] += 1
+
+        threads = [threading.Thread(target=reader, args=(index,), daemon=True)
+                   for index in range(3)]
+        threads.append(threading.Thread(target=mutator, daemon=True))
+        threads.append(threading.Thread(target=sampler, daemon=True))
+        for thread in threads:
+            thread.start()
+        try:
+            refreshed = 0
+            deadline = time.time() + 60.0
+            while refreshed < 3 and time.time() < deadline:
+                if service.staleness() == 0:
+                    # The mutator hasn't churned yet; don't burn the loop on
+                    # fast-path no-ops before its thread gets scheduled.
+                    time.sleep(0.005)
+                    continue
+                if service.refresh() is not None:
+                    refreshed += 1
+        finally:
+            stop.set()
+            for thread in threads:
+                thread.join(timeout=30.0)
+        assert failures == []
+        assert refreshed >= 3          # delete churn alone must trigger tunes
+        assert samples[0] > 0
+        assert mismatches == []
+        # After quiescing the mutator, one more refresh settles staleness.
+        service.refresh()
+        assert service.staleness() == 0
+        assert service.table.num_rows == store.num_rows
 
     def test_concurrent_refresh_calls_serialise(self, serving_stack):
         """Two simultaneous refresh() calls: one tunes, the other no-ops."""

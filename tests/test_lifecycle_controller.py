@@ -1,12 +1,13 @@
 """Tests of the autonomous lifecycle controller (:mod:`repro.lifecycle`).
 
 Covers the event log, the drift monitor (probe sampling, incremental
-relabeling, threshold/drift decisions), the refresh scheduler (debounce,
-cooldown, backpressure, error containment, the daemon loop), cold-train
-escalation on domain growth, retention, and the end-to-end acceptance path:
-skewed appends trigger an automatic refresh that restores accuracy with
-zero failed requests, and domain growth escalates to a cold train that
-swaps without raising to callers.
+relabeling through appends *and* deletes, threshold/drift decisions), the
+refresh scheduler (debounce, cooldown, backpressure, error containment, the
+daemon loop), cold-train escalation on domain growth, tombstone-triggered
+compaction with its own escalation, retention, and the end-to-end
+acceptance paths: skewed appends or skewed deletes trigger an automatic
+refresh that restores accuracy with zero failed requests, and domain
+growth escalates to a cold train that swaps without raising to callers.
 """
 
 import dataclasses
@@ -217,6 +218,41 @@ class TestDriftMonitor:
             grown = monitor._labeled_counts(probes)
             np.testing.assert_array_equal(
                 grown, true_cardinalities(store.snapshot(), list(probes)))
+
+    def test_incremental_labels_roll_through_deletes(self, store, tmp_path):
+        with _make_service(store, tmp_path) as service:
+            monitor = DriftMonitor(service, EAGER)
+            workload = make_random_workload(store.snapshot(), num_queries=30,
+                                            seed=9, label=False)
+            monitor.seed_probes(workload.queries)
+            probes = monitor.probe_queries
+            monitor._labeled_counts(probes)      # pin labels at this version
+            store.delete(np.arange(0, 120, 2))   # tombstone 60 base rows
+            rolled = monitor._labeled_counts(probes)
+            np.testing.assert_array_equal(
+                rolled, true_cardinalities(store.snapshot(), list(probes)))
+            # Mixed churn rolls forward too (append + another delete).
+            _append_in_domain(store, 50, seed=3)
+            store.delete(np.arange(0, 40))
+            np.testing.assert_array_equal(
+                monitor._labeled_counts(probes),
+                true_cardinalities(store.snapshot(), list(probes)))
+
+    def test_pure_delete_triggers_staleness(self, store, tmp_path):
+        policy = LifecyclePolicy(max_stale_rows=100, max_stale_fraction=0.2,
+                                 qerror_median_threshold=None,
+                                 qerror_drift_factor=None)
+        with _make_service(store, tmp_path) as service:
+            monitor = DriftMonitor(service, policy)
+            assert not monitor.decide()
+            store.delete(np.arange(50))          # 50/400 < 0.2, < 100 rows
+            assert not monitor.decide()
+            store.delete(np.arange(50))          # 100 rows churned
+            decision = monitor.decide()
+            assert decision.refresh
+            assert decision.reasons == ("stale_rows", "stale_fraction")
+            assert decision.metrics.stale_rows == 100
+            assert decision.metrics.trained_rows == 400  # live rows at v1
 
     def test_changed_probe_set_relabels_fully(self, store, tmp_path):
         with _make_service(store, tmp_path) as service:
@@ -454,6 +490,66 @@ class TestColdTrainEscalation:
 
 
 # ----------------------------------------------------------------------
+# Compaction
+# ----------------------------------------------------------------------
+class TestCompaction:
+    def test_scheduler_compacts_and_cold_trains(self, store, tmp_path):
+        """Crossing the tombstone threshold fires compaction + escalation:
+        chunks rewritten, cold train swaps in the background, nothing
+        raises into serving."""
+        with _make_service(store, tmp_path) as service:
+            scheduler = RefreshScheduler(service, EAGER)  # threshold 0.30
+            workload = make_random_workload(store.snapshot(), num_queries=10,
+                                            seed=3, label=False)
+            store.delete(np.arange(200))          # 200/400 = 0.5 dead
+            event = scheduler.poll_once()
+            assert event.kind == "compaction"
+            assert event.details["dropped_rows"] == 200
+            assert event.details["tombstone_fraction"] == pytest.approx(0.5)
+            assert store.tombstone_fraction == 0.0
+            assert store.physical_rows == store.num_rows == 200
+            started = scheduler.events.last("cold_train")
+            assert started.details == {"status": "started",
+                                       "reason": "compaction"}
+            # Serving keeps answering while the cold train runs.
+            assert np.isfinite(service.estimate_batch(workload.queries)).all()
+            assert scheduler.quiesce(timeout=60.0)
+            swapped = scheduler.events.last("cold_train")
+            assert swapped.details["status"] == "swapped"
+            assert service.staleness() == 0
+            assert service.data_version == store.data_version
+            assert service.table.num_rows == 200
+            assert np.isfinite(service.estimate_batch(workload.queries)).all()
+
+    def test_compaction_respects_threshold_and_disable(self, store, tmp_path):
+        with _make_service(store, tmp_path) as service:
+            scheduler = RefreshScheduler(service, EAGER)
+            store.delete(np.arange(80))           # 0.2 < 0.3: no compaction
+            scheduler.poll_once()
+            assert scheduler.events.count("compaction") == 0
+            assert store.physical_rows == 400     # untouched
+        disabled = dataclasses.replace(EAGER, compact_tombstone_fraction=None)
+        with _make_service(store, tmp_path / "second") as service:
+            scheduler = RefreshScheduler(service, disabled)
+            store.delete(np.arange(0, store.num_rows, 2))
+            scheduler.poll_once()
+            assert scheduler.events.count("compaction") == 0
+
+    def test_compaction_failure_is_contained(self, store, tmp_path,
+                                             monkeypatch):
+        with _make_service(store, tmp_path) as service:
+            scheduler = RefreshScheduler(service, EAGER)
+            store.delete(np.arange(200))
+            monkeypatch.setattr(store, "compact_measured",
+                                lambda: (_ for _ in ()).throw(
+                                    RuntimeError("rewrite exploded")))
+            event = scheduler.poll_once()        # must not raise
+            assert event.kind == "error"
+            assert event.details["stage"] == "compaction"
+            assert scheduler.events.count("cold_train") == 0
+
+
+# ----------------------------------------------------------------------
 # Retention policy unit
 # ----------------------------------------------------------------------
 class TestRetentionPolicy:
@@ -571,6 +667,81 @@ class TestEndToEndAcceptance:
 
             # Freshly-tuned baseline: a cold model trained on the new
             # snapshot with the same architecture and budget.
+            fresh = DuetModel(new_snapshot, ACCEPT_CONFIG)
+            DuetTrainer(fresh, new_snapshot, config=ACCEPT_CONFIG).train()
+            baseline = float(np.median(qerror(
+                DuetEstimator(fresh).estimate_batch(workload.queries), truth)))
+            assert refreshed <= 1.5 * baseline
+
+    def test_skewed_deletes_trigger_recovering_refresh(self, tmp_path):
+        """The delete acceptance bar: a skewed delete workload degrades the
+        served model, the controller refreshes automatically (negative
+        replay over the tombstoned rows), and the refreshed probe median
+        lands within 1.5x of a model cold-trained on the live view — with
+        zero failed requests across the swap."""
+        rng = np.random.default_rng(0)
+        store = ColumnStore.from_table(Table.from_dict("lifecycle", {
+            "age": rng.integers(18, 60, size=500),
+            "city": rng.choice(["ams", "ber", "cdg", "dus", "lis"], size=500),
+            "score": rng.integers(0, 12, size=500),
+        }))
+        # Compaction is exercised separately; here the refresh path must
+        # absorb a delete fraction that would otherwise cross its threshold.
+        policy = dataclasses.replace(EAGER, refresh_epochs=2,
+                                     compact_tombstone_fraction=None)
+        with _make_service(store, tmp_path, config=ACCEPT_CONFIG) as service:
+            scheduler = RefreshScheduler(service, policy)
+
+            # Skewed deletes: wipe most of the lower half of `age`, shifting
+            # the live distribution the served model no longer matches.
+            base = store.snapshot()
+            ages = base.column("age")
+            low_half = ages.distinct_values[ages.codes] < np.median(
+                ages.distinct_values)
+            victims = np.flatnonzero(low_half)
+            new_snapshot = store.delete(
+                victims[rng.random(victims.size) < 0.8])
+            assert service.staleness() >= policy.max_stale_rows
+
+            workload = make_random_workload(new_snapshot, num_queries=120,
+                                            seed=11, label=False)
+            truth = true_cardinalities(new_snapshot, workload.queries)
+
+            stop = threading.Event()
+            failures: list[Exception] = []
+
+            def hammer(seed: int) -> None:
+                worker_rng = np.random.default_rng(seed)
+                while not stop.is_set():
+                    query = workload.queries[
+                        int(worker_rng.integers(0, len(workload)))]
+                    try:
+                        assert service.estimate(query) >= 0.0
+                    except Exception as error:  # noqa: BLE001
+                        failures.append(error)
+
+            threads = [threading.Thread(target=hammer, args=(index,), daemon=True)
+                       for index in range(4)]
+            for thread in threads:
+                thread.start()
+            try:
+                event = scheduler.poll_once()  # automatic refresh
+            finally:
+                stop.set()
+                for thread in threads:
+                    thread.join(timeout=10.0)
+
+            assert event.details["action"] == "tune"
+            assert scheduler.events.count("refresh") == 1
+            assert failures == []
+            assert service.staleness() == 0
+            assert service.table.num_rows == new_snapshot.num_rows
+
+            refreshed = float(np.median(qerror(
+                service.estimate_batch(workload.queries), truth)))
+
+            # Baseline: a cold model trained on the live view with the same
+            # architecture and budget.
             fresh = DuetModel(new_snapshot, ACCEPT_CONFIG)
             DuetTrainer(fresh, new_snapshot, config=ACCEPT_CONFIG).train()
             baseline = float(np.median(qerror(

@@ -2,8 +2,9 @@
 
 Exercises the full async path the unit tests drive synchronously: a running
 scheduler daemon, concurrent load from run_soak, timed appends (skewed then
-domain-growing), and the acceptance bar — zero failed requests while the
-controller refreshes and cold-trains on its own.
+domain-growing) and timed deletes (staleness refresh, then
+compaction-triggering churn), and the acceptance bar — zero failed requests
+while the controller refreshes, compacts, and cold-trains on its own.
 """
 
 import numpy as np
@@ -39,6 +40,16 @@ def _skewed_batch(store, fraction, seed):
         batch[name] = column.distinct_values[
             rng.integers(start, column.num_distinct, size=count)]
     return batch
+
+
+def _delete_fraction(store, fraction, seed):
+    """Tombstone a random ``fraction`` of the current live rows."""
+    rng = np.random.default_rng(seed)
+    live = store.num_rows
+    count = min(int(live * fraction), max(live - 1, 0))
+    if count == 0:
+        return store.snapshot()
+    return store.delete(rng.choice(live, size=count, replace=False))
 
 
 def test_soak_with_running_scheduler(tmp_path):
@@ -90,3 +101,61 @@ def test_soak_with_running_scheduler(tmp_path):
         # Retention held: at most keep_model_versions survive.
         assert len(registry.versions("soak")) <= 2
         assert service.model_version in registry.versions("soak")
+
+
+def test_churn_soak_with_timed_deletes(tmp_path):
+    """Delete-heavy churn under live traffic: the controller must refresh
+    on delete staleness, compact once the tombstone fraction crosses the
+    policy threshold, cold-train on the compacted view, and never fail a
+    request while doing any of it."""
+    rng = np.random.default_rng(1)
+    store = ColumnStore.from_table(Table.from_dict("churn", {
+        "age": rng.integers(18, 60, size=800),
+        "city": rng.choice(["ams", "ber", "cdg", "dus", "lis"], size=800),
+        "score": rng.integers(0, 12, size=800),
+    }))
+    base = store.snapshot()
+    model = DuetModel(base, CONFIG)
+    DuetTrainer(model, base, config=CONFIG).train()
+    registry = ModelRegistry(tmp_path / "registry")
+    registry.save(model, dataset="churn")
+
+    policy = LifecyclePolicy(poll_interval_seconds=0.1, max_stale_rows=None,
+                             max_stale_fraction=0.15, probe_sample_rate=0.2,
+                             debounce_polls=1, cooldown_seconds=0.5,
+                             refresh_epochs=1, cold_train_epochs=1,
+                             keep_model_versions=2,
+                             compact_tombstone_fraction=0.35)
+    with EstimationService.from_registry(
+            registry, "churn", store=store,
+            config=ServingConfig(max_wait_ms=0.2)) as service:
+        workload = make_random_workload(base, num_queries=150, seed=5,
+                                        label=False)
+        with RefreshScheduler(service, policy) as scheduler:
+            scheduler.monitor.seed_probes(workload.queries[:32])
+            report = run_soak(
+                service, workload, duration_seconds=8.0, concurrency=4,
+                appends=[
+                    (1.0, lambda: store.append(_skewed_batch(store, 0.2, 3))),
+                ],
+                deletes=[
+                    # First wave drives a delete-staleness refresh; the
+                    # second pushes the tombstone fraction past 0.35 and
+                    # must end in compaction + cold train.
+                    (0.5, lambda: _delete_fraction(store, 0.2, 7)),
+                    (3.5, lambda: _delete_fraction(store, 0.35, 8)),
+                ],
+                scheduler=scheduler, seed=0)
+            assert scheduler.quiesce(timeout=120.0)
+            swaps = [event for event in scheduler.events.events("cold_train")
+                     if event.details.get("status") == "swapped"]
+
+    assert report.errors == 0
+    assert report.appends_applied == 1
+    assert report.deletes_applied == 2 and report.delete_errors == 0
+    assert report.num_requests > 0
+    assert report.refreshes + len(swaps) >= 1   # churn absorbed autonomously
+    assert scheduler.events.count("compaction") >= 1
+    assert len(swaps) >= 1                      # compaction escalated
+    assert store.tombstone_fraction == 0.0      # dead rows reclaimed
+    assert service.staleness() == 0

@@ -1,0 +1,314 @@
+"""Metamorphic tests of the delete/tombstone lifecycle.
+
+The specification of a delete is *equivalence with a rebuild*: after any
+interleaving of appends and deletes, the store's live view must equal the
+table rebuilt from scratch over the surviving raw rows, and delta labeling
+(``base + appended - removed``) must equal a full rescan of the live view
+bit-for-bit.  The suite drives randomized interleavings against a plain
+Python reference model plus the targeted edge cases — deletes across chunk
+boundaries, zero-row deletes, deleting a whole chunk, delete-then-append of
+the same values (codes must not shift or be reused incorrectly), dictionary
+growth over tombstoned chunks, and compaction.
+"""
+
+import numpy as np
+import pytest
+
+from repro.data import ColumnStore, Table
+from repro.workload import (
+    Query,
+    make_random_workload,
+    true_cardinalities,
+    true_cardinalities_delta,
+)
+
+
+def _decoded_rows(table: Table) -> list[tuple]:
+    return [tuple(table.row(index)) for index in range(table.num_rows)]
+
+
+def _rebuilt(reference: list[tuple], column_names: list[str]) -> Table:
+    data = {name: [row[position] for row in reference]
+            for position, name in enumerate(column_names)}
+    return Table.from_dict("rebuilt", data)
+
+
+def _random_mask(rng: np.random.Generator, live_rows: int,
+                 at_most: float = 0.5) -> np.ndarray:
+    count = int(rng.integers(0, max(int(live_rows * at_most), 1) + 1))
+    mask = np.zeros(live_rows, dtype=bool)
+    mask[rng.choice(live_rows, size=count, replace=False)] = True
+    return mask
+
+
+def _seed_store(seed: int, rows: int = 150) -> tuple[ColumnStore, list[tuple]]:
+    rng = np.random.default_rng(seed)
+    a = rng.integers(0, 25, size=rows)
+    b = rng.choice(list("wxyz"), size=rows)
+    store = ColumnStore.from_dict("meta", {"a": a, "b": b})
+    return store, list(zip(a.tolist(), b.tolist()))
+
+
+# ----------------------------------------------------------------------
+# Randomized interleavings vs the reference model
+# ----------------------------------------------------------------------
+class TestRandomInterleavings:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_live_view_equals_rebuild_and_delta_equals_rescan(self, seed):
+        store, reference = _seed_store(seed)
+        rng = np.random.default_rng(1000 + seed)
+        base = store.snapshot()
+        workload = make_random_workload(base, num_queries=50, seed=seed,
+                                        label=False)
+        base_counts = true_cardinalities(base, workload.queries)
+
+        for _ in range(8):
+            if rng.random() < 0.45 and len(reference) > 1:
+                mask = _random_mask(rng, len(reference))
+                store.delete(mask)
+                reference[:] = [row for keep, row in zip(~mask, reference)
+                                if keep]
+            else:
+                count = int(rng.integers(0, 40))
+                a = rng.integers(0, 25, size=count)
+                b = rng.choice(list("wxyz"), size=count)
+                store.append({"a": a, "b": b})
+                reference.extend(zip(a.tolist(), b.tolist()))
+
+            live = store.snapshot()
+            # Live view == rebuilt-from-scratch table, row for row.
+            assert live.num_rows == len(reference)
+            assert _decoded_rows(live) == reference
+            # Delta labeling == full rescan of the live view, bit for bit.
+            delta = store.delta(base)
+            assert delta.surviving_base_rows + delta.appended_rows == live.num_rows
+            np.testing.assert_array_equal(
+                true_cardinalities_delta(delta, workload.queries, base_counts),
+                true_cardinalities(live, workload.queries))
+            # ... and equals the rebuilt table's own ground truth.
+            if reference:
+                np.testing.assert_array_equal(
+                    true_cardinalities(_rebuilt(reference, live.column_names),
+                                       workload.queries),
+                    true_cardinalities(live, workload.queries))
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_rolling_base_stays_exact(self, seed):
+        """Delta labeling from *intermediate* versions (the monitor's
+        roll-forward pattern) stays exact across mixed churn."""
+        store, reference = _seed_store(seed)
+        rng = np.random.default_rng(2000 + seed)
+        base = store.snapshot()
+        workload = make_random_workload(base, num_queries=40, seed=seed,
+                                        label=False)
+        counts = true_cardinalities(base, workload.queries)
+        version = base.data_version
+        for _ in range(6):
+            if rng.random() < 0.5 and store.num_rows > 1:
+                store.delete(_random_mask(rng, store.num_rows, at_most=0.3))
+            else:
+                count = int(rng.integers(1, 30))
+                store.append({"a": rng.integers(0, 25, size=count),
+                              "b": rng.choice(list("wxyz"), size=count)})
+            delta = store.delta(version)
+            assert delta.base_version == version
+            counts = true_cardinalities_delta(delta, workload.queries, counts)
+            version = store.data_version
+            np.testing.assert_array_equal(
+                counts, true_cardinalities(store.snapshot(), workload.queries))
+
+
+# ----------------------------------------------------------------------
+# Targeted edge cases
+# ----------------------------------------------------------------------
+class TestDeleteEdgeCases:
+    def test_delete_across_chunk_boundaries(self):
+        store = ColumnStore.from_dict("t", {"a": [1, 2, 3, 4]})
+        store.append({"a": [5, 6, 7]})
+        store.append({"a": [8, 9]})          # chunks: 4 + 3 + 2 rows
+        base = store.snapshot()
+        # Rows 2..6 straddle all three chunk boundaries.
+        store.delete(np.arange(2, 7))
+        live = store.snapshot()
+        assert [row[0] for row in _decoded_rows(live)] == [1, 2, 8, 9]
+        delta = store.delta(base)
+        assert delta.removed_rows == 5
+        assert sorted(row[0] for row in _decoded_rows(delta.removed)) == [
+            3, 4, 5, 6, 7]
+        assert delta.appended_rows == 0
+
+    def test_zero_row_delete_is_a_noop(self):
+        store = ColumnStore.from_dict("t", {"a": [1, 2, 3]})
+        before = store.snapshot()
+        assert store.delete(np.zeros(3, dtype=bool)) is before
+        assert store.delete(np.empty(0, dtype=np.int64)) is before
+        assert store.delete(Query.from_triples([("a", ">=", 99)])) is before
+        assert store.data_version == before.data_version
+
+    def test_delete_whole_chunk(self):
+        store = ColumnStore.from_dict("t", {"a": [1, 2]})
+        store.append({"a": [3, 4]})
+        store.append({"a": [5, 6]})
+        base = store.snapshot()
+        store.delete(np.array([2, 3]))        # exactly the middle chunk
+        live = store.snapshot()
+        assert [row[0] for row in _decoded_rows(live)] == [1, 2, 5, 6]
+        delta = store.delta(base)
+        assert sorted(row[0] for row in _decoded_rows(delta.removed)) == [3, 4]
+        # Compaction reclaims the dead chunk without changing the live view.
+        compacted = store.compact()
+        assert store.physical_rows == store.num_rows == 4
+        assert [row[0] for row in _decoded_rows(compacted)] == [1, 2, 5, 6]
+
+    def test_delete_then_append_same_values_keeps_codes_stable(self):
+        store = ColumnStore.from_dict("t", {"a": [10, 20, 20, 30]})
+        code_of_20 = store.snapshot().column("a").code_of(20)
+        ndv = store.snapshot().column("a").num_distinct
+        # Tombstone every row holding 20: the dictionary must NOT shrink.
+        store.delete(Query.from_triples([("a", "=", 20)]))
+        after_delete = store.snapshot()
+        assert after_delete.column("a").num_distinct == ndv
+        assert after_delete.column("a").code_of(20) == code_of_20
+        # Re-appending 20 is a domain-preserving fast path reusing the same
+        # code — neighbouring values must not shift.
+        version = store.data_version
+        reappended = store.append({"a": [20, 40]})
+        assert reappended.data_version == version + 1
+        assert reappended.column("a").code_of(20) == code_of_20
+        assert [row[0] for row in _decoded_rows(reappended)] == [10, 30, 20, 40]
+        query = Query.from_triples([("a", "=", 20)])
+        assert true_cardinalities(reappended, [query])[0] == 1
+
+    def test_dictionary_growth_over_tombstoned_chunks(self):
+        """A growth append remaps every chunk; tombstones are positional and
+        must keep masking the same rows through the remap."""
+        store = ColumnStore.from_dict("t", {"a": [10, 30, 50, 70]})
+        store.delete(np.array([1, 3]))        # kill 30 and 70
+        base = store.snapshot()
+        store.append({"a": [20, 60]})         # lands mid-domain: full remap
+        live = store.snapshot()
+        assert [row[0] for row in _decoded_rows(live)] == [10, 50, 20, 60]
+        delta = store.delta(base)
+        assert delta.grown_columns == ("a",)
+        assert delta.removed is None          # nothing removed since base
+        assert [row[0] for row in _decoded_rows(delta.appended)] == [20, 60]
+
+    def test_delete_complement_equals_table_select(self):
+        """Deleting ``mask`` must leave exactly ``snapshot.select(~mask)``:
+        the tombstone path and the plain row-gather agree code-for-code
+        (domains are untouched by a delete, so codes are comparable)."""
+        store, _ = _seed_store(11)
+        before = store.snapshot()
+        rng = np.random.default_rng(11)
+        mask = _random_mask(rng, before.num_rows)
+        store.delete(mask)
+        np.testing.assert_array_equal(store.snapshot().code_matrix(),
+                                      before.select(~mask).code_matrix())
+
+    def test_table_select_validates_selectors(self):
+        table = Table.from_dict("t", {"a": [1, 2, 3]})
+        np.testing.assert_array_equal(
+            table.select([2, 0]).column("a").codes, [2, 0])
+        assert table.select(np.empty(0, dtype=np.int64)).num_rows == 0
+        with pytest.raises(ValueError, match="mask has shape"):
+            table.select(np.zeros(5, dtype=bool))
+        with pytest.raises(IndexError, match="out of range"):
+            table.select([3])
+        with pytest.raises(TypeError, match="boolean mask or integer"):
+            table.select(np.array([0.5, 1.5]))
+
+    def test_delete_validates_selectors(self):
+        store = ColumnStore.from_dict("t", {"a": [1, 2, 3]})
+        with pytest.raises(ValueError, match="mask has shape"):
+            store.delete(np.zeros(5, dtype=bool))
+        with pytest.raises(IndexError, match="out of range"):
+            store.delete(np.array([3]))
+        with pytest.raises(IndexError, match="out of range"):
+            store.delete(np.array([-1]))
+
+    def test_old_snapshots_survive_deletes(self):
+        store = ColumnStore.from_dict("t", {"a": [1, 2, 3, 4]})
+        old = store.snapshot()
+        codes = old.column("a").codes.copy()
+        store.delete(np.array([0, 2]))
+        np.testing.assert_array_equal(old.column("a").codes, codes)
+        assert old.num_rows == 4
+        assert store.snapshot().num_rows == 2
+
+    def test_pure_delete_counts_as_staleness(self):
+        store = ColumnStore.from_dict("t", {"a": list(range(10))})
+        version = store.data_version
+        store.delete(np.arange(4))
+        assert store.rows_since(version) == 4
+        store.append({"a": [1, 2]})
+        assert store.rows_since(version) == 6  # churn: deletes + appends
+
+    def test_tombstone_fraction_tracks_dead_rows(self):
+        store = ColumnStore.from_dict("t", {"a": list(range(10))})
+        assert store.tombstone_fraction == 0.0
+        store.delete(np.arange(4))
+        assert store.tombstone_fraction == pytest.approx(0.4)
+        assert store.physical_rows == 10 and store.num_rows == 6
+
+
+# ----------------------------------------------------------------------
+# Compaction
+# ----------------------------------------------------------------------
+class TestCompaction:
+    def test_compact_preserves_live_view_bit_for_bit(self):
+        store, reference = _seed_store(3)
+        rng = np.random.default_rng(3)
+        store.append({"a": rng.integers(0, 25, size=40),
+                      "b": rng.choice(list("wxyz"), size=40)})
+        store.delete(_random_mask(rng, store.num_rows, at_most=0.4))
+        before = store.snapshot()
+        workload = make_random_workload(before, num_queries=30, seed=4,
+                                        label=False)
+        counts = true_cardinalities(before, workload.queries)
+        compacted = store.compact()
+        assert compacted.data_version == before.data_version + 1
+        np.testing.assert_array_equal(compacted.code_matrix(),
+                                      before.code_matrix())
+        np.testing.assert_array_equal(
+            true_cardinalities(compacted, workload.queries), counts)
+        assert store.physical_rows == store.num_rows
+        assert store.tombstone_fraction == 0.0
+
+    def test_compact_without_dead_rows_is_a_noop(self):
+        store = ColumnStore.from_dict("t", {"a": [1, 2, 3]})
+        before = store.snapshot()
+        assert store.compact() is before
+        assert store.data_version == before.data_version
+
+    def test_compaction_does_not_add_churn(self):
+        store = ColumnStore.from_dict("t", {"a": list(range(12))})
+        store.delete(np.arange(5))
+        version = store.data_version
+        store.compact()
+        # The live set did not change: a model trained at `version` is not
+        # made stale by the physical rewrite.
+        assert store.rows_since(version) == 0
+
+    def test_delta_across_compaction_degrades_to_unknown_base(self):
+        store = ColumnStore.from_dict("t", {"a": list(range(12))})
+        base = store.snapshot()
+        store.delete(np.arange(5))
+        store.compact()
+        delta = store.delta(base)
+        assert delta.base_version == 0          # documented degradation
+        assert delta.appended_rows == store.num_rows
+        assert delta.removed is None
+        # Post-compaction bases work normally again.
+        rebased = store.snapshot()
+        store.delete(np.array([0]))
+        fresh = store.delta(rebased)
+        assert fresh.base_version == rebased.data_version
+        assert fresh.removed_rows == 1
+
+    def test_old_snapshots_survive_compaction(self):
+        store = ColumnStore.from_dict("t", {"a": [5, 6, 7, 8]})
+        old = store.snapshot()
+        store.delete(np.array([1]))
+        store.compact()
+        assert [row[0] for row in _decoded_rows(old)] == [5, 6, 7, 8]
+        assert [row[0] for row in _decoded_rows(store.snapshot())] == [5, 7, 8]
