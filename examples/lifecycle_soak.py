@@ -14,10 +14,18 @@ succeeding.
 Run with::
 
     python examples/lifecycle_soak.py
+
+``--chaos`` turns the soak into a fault-injected run: a seeded
+:class:`~repro.lifecycle.FaultInjector` plan fails a training loop, a
+registry save, and stalls some optimiser steps while the same traffic and
+mutations run.  The acceptance bar is identical — zero failed requests —
+and the run ends with a cold-start ``ModelRegistry.recover()`` pass over
+whatever the faults left on disk.
 """
 
 from __future__ import annotations
 
+import argparse
 import tempfile
 
 import numpy as np
@@ -31,7 +39,7 @@ from repro.core import (
 )
 from repro.data import ColumnStore, make_census
 from repro.eval import format_table, qerror, run_soak, summarize_qerrors
-from repro.lifecycle import RefreshScheduler
+from repro.lifecycle import FaultInjector, FaultSpec, RefreshScheduler
 from repro.serving import EstimationService, ModelRegistry
 from repro.workload import make_random_workload, true_cardinalities
 
@@ -62,7 +70,17 @@ def growing_batch(store: ColumnStore, count: int, seed: int) -> dict:
     return batch
 
 
-def main() -> None:
+def chaos_plan() -> FaultInjector:
+    """The example's seeded fault plan for ``--chaos``."""
+    return FaultInjector([
+        FaultSpec(site="trainer.step", kind="raise"),
+        FaultSpec(site="registry.save", kind="io_error"),
+        FaultSpec(site="trainer.step", kind="stall", stall_seconds=0.02,
+                  times=5, after=100),
+    ], seed=3)
+
+
+def main(chaos: bool = False) -> None:
     store = ColumnStore.from_table(make_census(scale=0.05, seed=0))
     base = store.snapshot()
     print(f"store {store.name!r}: {base.num_rows} rows, "
@@ -83,7 +101,13 @@ def main() -> None:
         qerror_median_threshold=None, qerror_drift_factor=3.0,
         debounce_polls=2, cooldown_seconds=1.0,
         refresh_epochs=2, cold_train_epochs=3,
-        keep_model_versions=2)
+        keep_model_versions=2,
+        # chaos runs retry quickly so the injected failures are absorbed
+        # within the soak window instead of parking the tune path
+        failure_backoff_seconds=0.25 if chaos else 2.0,
+        failure_backoff_max_seconds=1.0 if chaos else 60.0,
+        breaker_failure_threshold=None if chaos else 5)
+    faults = chaos_plan() if chaos else None
 
     with EstimationService.from_registry(
             registry, "census", store=store,
@@ -103,10 +127,14 @@ def main() -> None:
                     (7.0, lambda: store.append(
                         growing_batch(store, int(store.num_rows * 0.3), 9))),
                 ],
-                scheduler=scheduler, seed=0)
+                scheduler=scheduler, faults=faults, seed=0)
             scheduler.quiesce(timeout=120.0)
 
             print(report)
+            if faults is not None:
+                fired = ", ".join(f"{site} x{count}" for site, count
+                                  in sorted(report.fault_counts.items()))
+                print(f"faults injected: {fired or 'none'}")
             print(f"after quiesce: staleness {service.staleness()} rows, "
                   f"serving {service.model_version}\n")
             print("lifecycle events (idle polls elided):")
@@ -131,10 +159,25 @@ def main() -> None:
         print(f"\nversions retained: {registry.versions('census')} "
               f"(policy keeps {policy.keep_model_versions}), "
               f"store versions tracked: {store.tracked_versions}")
-    print("\nNo refresh() was ever called by hand: the controller noticed the "
-          "drift, fine-tuned twice, cold-trained through the domain growth, "
-          "and pruned superseded versions — with zero failed requests.")
+    if chaos:
+        # Cold-start recovery over whatever the fault plan left on disk.
+        recovery = ModelRegistry(registry.root).recover()
+        quarantined = [f"{q.dataset}/{q.version} ({q.reason})"
+                       for q in recovery.quarantined]
+        print(f"\nrecover(): checked {recovery.checked} entries, "
+              f"quarantined {quarantined or 'nothing'}, "
+              f"manifest_rebuilt={recovery.manifest_rebuilt}")
+        print("Chaos run complete: injected trainer/registry faults were "
+              "absorbed by backoff and retries — still zero failed requests.")
+    else:
+        print("\nNo refresh() was ever called by hand: the controller noticed "
+              "the drift, fine-tuned twice, cold-trained through the domain "
+              "growth, and pruned superseded versions — with zero failed "
+              "requests.")
 
 
 if __name__ == "__main__":
-    main()
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--chaos", action="store_true",
+                        help="inject a seeded fault plan into the soak")
+    main(chaos=parser.parse_args().chaos)

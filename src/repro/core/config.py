@@ -242,6 +242,31 @@ class LifecyclePolicy:
         (deltas cannot span a compaction, and a clean retrain also erases
         the approximation error negative-replay fine-tuning accumulates
         under heavy deletes).  ``None`` disables automatic compaction.
+    canary_margin:
+        Canary gate for every controller-initiated swap: a fine-tuned or
+        cold-trained candidate is shadow-evaluated on the drift monitor's
+        probe set and rejected (the incumbent keeps serving) when its probe
+        median Q-Error exceeds ``canary_margin`` times the incumbent's.
+        ``1.0`` demands the candidate be no worse; the default ``1.1``
+        tolerates 10% regression (probe medians are noisy).  ``None``
+        disables gating — every candidate swaps unevaluated, the
+        pre-canary behaviour.
+    failure_backoff_seconds / failure_backoff_max_seconds:
+        Exponential backoff after a *failed* tune (refresh, cold train, or
+        compaction): the tune path is parked for
+        ``failure_backoff_seconds * 2**(consecutive_failures - 1)`` capped
+        at ``failure_backoff_max_seconds``.  Kept separate from
+        ``cooldown_seconds``, which only measures the gap since the last
+        *successful* tune — a persistently failing tune and a healthy one
+        must not share one knob.  ``0`` retries on the next poll.
+    breaker_failure_threshold / breaker_cooldown_seconds:
+        Circuit breaker over the tune path: after ``breaker_failure_threshold``
+        consecutive tune failures the breaker opens and every tune/compaction
+        opportunity is skipped (serving is untouched) until
+        ``breaker_cooldown_seconds`` have passed; the breaker then half-opens
+        and admits one trial tune — success closes it, failure re-opens it
+        for another cooldown.  ``None`` disables the breaker (backoff alone
+        still applies).
     """
 
     poll_interval_seconds: float = 1.0
@@ -262,6 +287,11 @@ class LifecyclePolicy:
     keep_model_versions: int | None = 3
     trim_store_versions: bool = True
     compact_tombstone_fraction: float | None = 0.30
+    canary_margin: float | None = 1.1
+    failure_backoff_seconds: float = 2.0
+    failure_backoff_max_seconds: float = 60.0
+    breaker_failure_threshold: int | None = 5
+    breaker_cooldown_seconds: float = 120.0
 
     def __post_init__(self) -> None:
         if self.poll_interval_seconds <= 0:
@@ -299,6 +329,18 @@ class LifecyclePolicy:
                 and not 0.0 < self.compact_tombstone_fraction <= 1.0):
             raise ValueError(
                 "compact_tombstone_fraction must be in (0, 1] (or None)")
+        if self.canary_margin is not None and self.canary_margin <= 0:
+            raise ValueError("canary_margin must be positive (or None)")
+        if self.failure_backoff_seconds < 0:
+            raise ValueError("failure_backoff_seconds must be non-negative")
+        if self.failure_backoff_max_seconds < self.failure_backoff_seconds:
+            raise ValueError("failure_backoff_max_seconds must be >= "
+                             "failure_backoff_seconds")
+        if (self.breaker_failure_threshold is not None
+                and self.breaker_failure_threshold < 1):
+            raise ValueError("breaker_failure_threshold must be >= 1 (or None)")
+        if self.breaker_cooldown_seconds < 0:
+            raise ValueError("breaker_cooldown_seconds must be non-negative")
 
 
 def dmv_config(**overrides) -> DuetConfig:

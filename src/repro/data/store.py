@@ -244,6 +244,15 @@ class ColumnStore:
         # "unreachable" for trim_versions().
         self._live_snapshots: "weakref.WeakValueDictionary[int, Snapshot]" = (
             weakref.WeakValueDictionary())
+        #: chaos seam: a callable fired as ``hook("store.append")`` etc.
+        #: before each mutation commits; a raising hook simulates the
+        #: mutation failing before any state changed
+        self.fault_hook = None
+
+    def _fault(self, site: str) -> None:
+        hook = self.fault_hook
+        if hook is not None:
+            hook(site, store=self.name)
 
     # ------------------------------------------------------------------
     # Constructors
@@ -388,6 +397,7 @@ class ColumnStore:
         arrays = self._validate_batch(data)
         if arrays[0].size == 0:
             return self.snapshot()
+        self._fault("store.append")
         with self._lock:
             for state, values in zip(self._columns, arrays):
                 self._append_column(state, values)
@@ -497,6 +507,7 @@ class ColumnStore:
         Deleting zero rows returns the current snapshot without bumping the
         version.  Physical space is reclaimed separately by :meth:`compact`.
         """
+        self._fault("store.delete")
         if hasattr(rows, "predicates"):  # a workload Query (lazy import:
             # the executor imports this module for TableDelta)
             from ..workload.executor import execute
@@ -588,6 +599,7 @@ class ColumnStore:
         cannot skew them (the lifecycle controller records them in its
         event log).
         """
+        self._fault("store.compact")
         with self._lock:
             fraction = self.tombstone_fraction
             dropped = self._chunk_rows - self._live_rows

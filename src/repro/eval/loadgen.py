@@ -13,7 +13,7 @@ from __future__ import annotations
 
 import threading
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 import numpy as np
 
@@ -139,24 +139,29 @@ class SoakReport:
     deletes_applied: int = 0
     delete_errors: int = 0
     compactions: int = 0
+    fault_counts: dict = field(default_factory=dict)
 
     def __str__(self) -> str:
         def _mutations(applied: int, failed: int, noun: str) -> str:
             label = f"{applied} {noun}"
             return label if not failed else f"{label} ({failed} failed)"
 
-        return (f"soak {self.duration_seconds:.1f}s: {self.num_requests} requests "
+        line = (f"soak {self.duration_seconds:.1f}s: {self.num_requests} requests "
                 f"({self.qps:.0f} qps, {self.errors} errors), "
                 f"{_mutations(self.appends_applied, self.append_errors, 'appends')}, "
                 f"{_mutations(self.deletes_applied, self.delete_errors, 'deletes')}, "
                 f"{self.refreshes} refreshes, {self.cold_trains} cold trains, "
                 f"{self.compactions} compactions, "
                 f"final staleness {self.final_staleness} rows")
+        if self.fault_counts:
+            injected = sum(self.fault_counts.values())
+            line += f", {injected} faults injected"
+        return line
 
 
 def run_soak(service: EstimationService, workload: Workload, *,
              duration_seconds: float, concurrency: int = 4,
-             appends=(), deletes=(), scheduler=None,
+             appends=(), deletes=(), scheduler=None, faults=None,
              seed: int = 0) -> SoakReport:
     """Serve continuous traffic while the data mutates underneath.
 
@@ -172,6 +177,13 @@ def run_soak(service: EstimationService, workload: Workload, *,
     expected to absorb the mutations autonomously — including compacting a
     tombstone-heavy store; the report's ``errors`` field is the acceptance
     signal — an autonomous swap must never fail a request.
+
+    ``faults`` turns the soak into a chaos run: the
+    :class:`~repro.lifecycle.FaultInjector` is armed on the scheduler's
+    trainer seam, the service's registry, and its store for the duration
+    (and disarmed afterwards); its injection counts land in the report's
+    ``fault_counts``.  The acceptance signal does not change — injected
+    control-plane faults must still never fail an estimate request.
     """
     if duration_seconds <= 0:
         raise ValueError("duration_seconds must be positive")
@@ -190,6 +202,10 @@ def run_soak(service: EstimationService, workload: Workload, *,
     applied = {"append": 0, "delete": 0}
     mutation_errors = {"append": 0, "delete": 0}
     before = service.snapshot()
+    if faults is not None:
+        faults.arm(scheduler=scheduler,
+                   registry=getattr(service, "registry", None),
+                   store=getattr(service, "store", None))
 
     def worker(worker_index: int) -> None:
         rng = np.random.default_rng(seed + worker_index)
@@ -226,6 +242,10 @@ def run_soak(service: EstimationService, workload: Workload, *,
         thread.join(timeout=10.0)
     driver_thread.join(timeout=10.0)
     elapsed = max(time.perf_counter() - started, 1e-9)
+    if faults is not None:
+        faults.disarm(scheduler=scheduler,
+                      registry=getattr(service, "registry", None),
+                      store=getattr(service, "store", None))
 
     after = service.snapshot()
     event_counts = scheduler.events.counts() if scheduler is not None else {}
@@ -247,4 +267,5 @@ def run_soak(service: EstimationService, workload: Workload, *,
         final_staleness=service.staleness(),
         final_data_version=service.data_version,
         event_counts=event_counts,
+        fault_counts=faults.counts() if faults is not None else {},
     )

@@ -19,10 +19,19 @@ the loop close itself.  Five cooperating parts:
 * :class:`CompactionPolicy` — when deletes push the store's tombstone
   fraction past the policy threshold, rewrites the chunks to drop dead rows
   and escalates to the cold-train/swap path (deltas cannot span the new
-  chunk layout).
+  chunk layout);
+* :class:`ShadowEvaluator` — canary gate in front of every swap: candidates
+  are shadow-evaluated on the drift probe set and rejected when worse than
+  the incumbent by more than the policy margin;
+* :class:`FaultInjector` — deterministic seeded fault plans
+  (:class:`FaultSpec`) threaded through trainer/registry/store seams, so
+  the whole control plane can be chaos-tested reproducibly.
 
-Everything the controller does lands in a structured :class:`EventLog`.
-All knobs live in :class:`~repro.core.LifecyclePolicy`.
+The scheduler also carries the failure half of the control plane:
+exponential backoff on consecutive tune failures and a circuit breaker
+that parks the tune path entirely after too many, half-opening for a trial
+after a cooldown.  Everything the controller does lands in a structured
+:class:`EventLog`.  All knobs live in :class:`~repro.core.LifecyclePolicy`.
 
 Quickstart::
 
@@ -37,9 +46,11 @@ Quickstart::
 from .coldtrain import ColdTrainResult, cold_train_and_swap, start_cold_train
 from .compaction import CompactionPolicy, CompactionReport
 from .events import EventLog, LifecycleEvent
+from .faults import FaultInjector, FaultSpec, InjectedFault, SimulatedCrash
 from .monitor import DriftMetrics, DriftMonitor, RefreshDecision
 from .retention import RetentionPolicy, RetentionReport
 from .scheduler import RefreshScheduler
+from .shadow import CanaryReport, ShadowEvaluator
 
 __all__ = [
     "LifecycleEvent",
@@ -55,4 +66,10 @@ __all__ = [
     "RetentionReport",
     "CompactionPolicy",
     "CompactionReport",
+    "CanaryReport",
+    "ShadowEvaluator",
+    "FaultSpec",
+    "FaultInjector",
+    "InjectedFault",
+    "SimulatedCrash",
 ]

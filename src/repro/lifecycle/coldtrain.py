@@ -26,7 +26,9 @@ class ColdTrainResult:
 
     ``wait()`` joins a background run; ``entry`` is the registry entry of
     the new model (``None`` when no registry is attached), ``error`` the
-    exception that aborted the run (``None`` on success).
+    exception that aborted the run (``None`` on success), ``rejected``
+    whether the canary gate turned the trained candidate away (the model
+    was neither registered nor swapped; the incumbent keeps serving).
     """
 
     def __init__(self) -> None:
@@ -34,6 +36,7 @@ class ColdTrainResult:
         self.model: DuetModel | None = None
         self.data_version: int | None = None
         self.error: Exception | None = None
+        self.rejected = False
         self._done = threading.Event()
         self._thread: threading.Thread | None = None
 
@@ -43,7 +46,7 @@ class ColdTrainResult:
 
     @property
     def ok(self) -> bool:
-        return self.done and self.error is None
+        return self.done and self.error is None and not self.rejected
 
     def wait(self, timeout: float | None = None) -> bool:
         return self._done.wait(timeout)
@@ -52,7 +55,8 @@ class ColdTrainResult:
 def cold_train_and_swap(service, *, epochs: int | None = None,
                         training_workload=None, config=None,
                         throttle=None, version: str | None = None,
-                        result: ColdTrainResult | None = None) -> ColdTrainResult:
+                        result: ColdTrainResult | None = None,
+                        gate=None) -> ColdTrainResult:
     """Train a fresh model on the store's current snapshot and swap it in.
 
     Runs synchronously on the calling thread (the scheduler calls it from a
@@ -61,6 +65,13 @@ def cold_train_and_swap(service, *, epochs: int | None = None,
     serving never sees a half-trained model; a failure leaves the service
     exactly as it was and is reported on the returned result instead of
     raised, matching the controller's never-crash-serving contract.
+
+    ``gate`` is the canary hook: called with the trained candidate before
+    it is registered or swapped; returning falsy marks the result
+    ``rejected`` and leaves service and registry untouched.  When the swap
+    itself fails after registration, the just-saved version is discarded
+    again so a never-served model cannot become the registry's protected
+    "latest".
     """
     result = result or ColdTrainResult()
     try:
@@ -79,6 +90,11 @@ def cold_train_and_swap(service, *, epochs: int | None = None,
         trainer = DuetTrainer(model, snapshot, training_workload, config,
                               throttle=throttle)
         trainer.train(epochs)
+        result.model = model
+        result.data_version = snapshot.data_version
+        if gate is not None and not gate(model):
+            result.rejected = True
+            return result
         entry = None
         if service.registry is not None:
             entry = service.registry.save(
@@ -88,11 +104,14 @@ def cold_train_and_swap(service, *, epochs: int | None = None,
                 compile_options=getattr(service.estimator, "compile_options",
                                         None),
                 data_version=snapshot.data_version)
-        service.swap_model(model, data_version=snapshot.data_version,
-                           model_version=entry.version if entry else None)
+        try:
+            service.swap_model(model, data_version=snapshot.data_version,
+                               model_version=entry.version if entry else None)
+        except Exception:
+            if entry is not None:
+                service.registry.discard(entry.dataset, entry.version)
+            raise
         result.entry = entry
-        result.model = model
-        result.data_version = snapshot.data_version
     except Exception as error:  # noqa: BLE001 — reported, never raised into serving
         result.error = error
     finally:
@@ -102,14 +121,15 @@ def cold_train_and_swap(service, *, epochs: int | None = None,
 
 def start_cold_train(service, *, epochs: int | None = None,
                      training_workload=None, config=None, throttle=None,
-                     version: str | None = None) -> ColdTrainResult:
+                     version: str | None = None, gate=None) -> ColdTrainResult:
     """Run :func:`cold_train_and_swap` on a daemon thread; returns its handle."""
     result = ColdTrainResult()
     thread = threading.Thread(
         target=cold_train_and_swap,
         kwargs=dict(service=service, epochs=epochs,
                     training_workload=training_workload, config=config,
-                    throttle=throttle, version=version, result=result),
+                    throttle=throttle, version=version, result=result,
+                    gate=gate),
         name="repro-cold-train", daemon=True)
     result._thread = thread
     thread.start()

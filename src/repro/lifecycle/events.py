@@ -27,6 +27,9 @@ EVENT_KINDS = (
     "compaction",    # tombstoned rows physically dropped from the store
     "retention",     # registry prune and/or store version trim
     "error",         # a tune failed for a non-escalatable reason
+    "canary_pass",   # shadow evaluation admitted a candidate model
+    "canary_reject", # shadow evaluation turned a candidate away
+    "breaker",       # circuit breaker transition (open / half_open / closed)
 )
 
 

@@ -1,0 +1,198 @@
+"""Deterministic fault injection for the lifecycle control plane.
+
+Chaos testing with reproducibility: a :class:`FaultInjector` holds a *plan*
+of :class:`FaultSpec` entries, each bound to a named **site** — a seam the
+production code consults when it is about to do something that can fail in
+the real world:
+
+=====================  ========================================================
+site                   fired from
+=====================  ========================================================
+``trainer.step``       the scheduler's throttle closure, once per optimiser
+                       step of every fine-tune and cold train
+``registry.save``      :meth:`ModelRegistry.save`, before any file is written
+``registry.manifest``  :meth:`ModelRegistry.save`, *after* the version files
+                       land but *before* the manifest commits — the classic
+                       crash window a recovery pass must handle
+``store.append``       :meth:`ColumnStore.append`
+``store.delete``       :meth:`ColumnStore.delete`
+``store.compact``      :meth:`ColumnStore.compact_measured`
+=====================  ========================================================
+
+Four fault kinds cover the failure modes the robustness tests exercise:
+``raise`` (a typed :class:`InjectedFault` — a trainer bug, a poisoned
+batch), ``io_error`` (an :class:`OSError` — full disk, yanked volume),
+``crash`` (a :class:`SimulatedCrash` — process death mid-protocol; the
+handler must *not* clean up, that is the point) and ``stall``
+(``time.sleep`` — a slow disk or a GC pause).
+
+Plans are seeded: given the same specs, seed, and call sequence, the same
+faults fire at the same moments — a failing chaos run replays exactly.
+Everything the injector did is countable afterwards (:meth:`counts`), so
+soak reports can prove faults actually fired rather than silently
+misconfigured themselves away.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import Counter
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["InjectedFault", "SimulatedCrash", "FaultSpec", "FaultInjector"]
+
+_KINDS = ("raise", "io_error", "crash", "stall")
+
+
+class InjectedFault(RuntimeError):
+    """A generic injected failure (kind ``raise``)."""
+
+
+class SimulatedCrash(RuntimeError):
+    """Injected process death (kind ``crash``).
+
+    Raised at the fault site exactly where a real crash would cut execution;
+    code under test must not get a chance to clean up, so handlers catching
+    broad ``Exception`` on purpose still propagate the torn state this
+    leaves behind (that torn state is what recovery tests feed on).
+    """
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One planned fault: where, what, how often.
+
+    ``probability`` gates each opportunity through the injector's seeded
+    RNG; ``after`` skips the first N opportunities (fault the *third* save,
+    not the first); ``times`` caps total firings (``None`` = unlimited).
+    """
+
+    site: str
+    kind: str = "raise"
+    probability: float = 1.0
+    times: int | None = 1
+    after: int = 0
+    stall_seconds: float = 0.05
+    message: str | None = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in _KINDS:
+            raise ValueError(f"kind must be one of {_KINDS}, got {self.kind!r}")
+        if not self.site:
+            raise ValueError("site must be a non-empty string")
+        if not 0.0 <= self.probability <= 1.0:
+            raise ValueError(f"probability must be in [0, 1], got "
+                             f"{self.probability}")
+        if self.times is not None and self.times < 1:
+            raise ValueError(f"times must be >= 1 or None, got {self.times}")
+        if self.after < 0:
+            raise ValueError(f"after must be >= 0, got {self.after}")
+        if self.stall_seconds < 0:
+            raise ValueError(f"stall_seconds must be >= 0, got "
+                             f"{self.stall_seconds}")
+
+
+@dataclass
+class _SpecState:
+    spec: FaultSpec
+    seen: int = 0    #: opportunities at this spec's site
+    fired: int = 0   #: faults actually injected
+
+
+class FaultInjector:
+    """Executes a seeded fault plan when production seams consult it.
+
+    Thread-safe: sites fire from the scheduler loop, cold-train threads, and
+    request hammers concurrently; all plan state mutates under one lock
+    (the injected exception is raised outside it).
+    """
+
+    def __init__(self, specs=(), seed: int = 0) -> None:
+        self._states = [_SpecState(spec) for spec in specs]
+        self._rng = np.random.default_rng(seed)
+        self._lock = threading.Lock()
+        self.injected: Counter[str] = Counter()
+
+    # ------------------------------------------------------------------
+    # Firing
+    # ------------------------------------------------------------------
+    def fire(self, site: str, **context) -> None:
+        """Give every spec bound to ``site`` one opportunity to fault.
+
+        At most one fault fires per call (specs are consulted in plan
+        order); ``context`` is carried into the raised exception's message
+        for post-mortem readability.
+        """
+        action: FaultSpec | None = None
+        with self._lock:
+            for state in self._states:
+                if state.spec.site != site:
+                    continue
+                state.seen += 1
+                spec = state.spec
+                if state.seen <= spec.after:
+                    continue
+                if spec.times is not None and state.fired >= spec.times:
+                    continue
+                if spec.probability < 1.0 and self._rng.random() > spec.probability:
+                    continue
+                state.fired += 1
+                self.injected[f"{site}:{spec.kind}"] += 1
+                action = spec
+                break
+        if action is None:
+            return
+        detail = action.message or f"injected {action.kind} at {site}"
+        if context:
+            extras = ", ".join(f"{k}={v!r}" for k, v in sorted(context.items()))
+            detail = f"{detail} ({extras})"
+        if action.kind == "stall":
+            time.sleep(action.stall_seconds)
+        elif action.kind == "io_error":
+            raise OSError(detail)
+        elif action.kind == "crash":
+            raise SimulatedCrash(detail)
+        else:
+            raise InjectedFault(detail)
+
+    __call__ = fire
+
+    # ------------------------------------------------------------------
+    # Accounting
+    # ------------------------------------------------------------------
+    def counts(self) -> dict[str, int]:
+        """Faults injected so far, keyed ``"{site}:{kind}"``."""
+        with self._lock:
+            return dict(self.injected)
+
+    @property
+    def total_injected(self) -> int:
+        with self._lock:
+            return sum(self.injected.values())
+
+    # ------------------------------------------------------------------
+    # Wiring into the control plane
+    # ------------------------------------------------------------------
+    def arm(self, *, scheduler=None, registry=None, store=None
+            ) -> "FaultInjector":
+        """Install this injector on the given components' fault seams."""
+        if scheduler is not None:
+            scheduler.fault_injector = self
+        if registry is not None:
+            registry.fault_hook = self
+        if store is not None:
+            store.fault_hook = self
+        return self
+
+    @staticmethod
+    def disarm(*, scheduler=None, registry=None, store=None) -> None:
+        """Remove any injector from the given components' fault seams."""
+        if scheduler is not None:
+            scheduler.fault_injector = None
+        if registry is not None:
+            registry.fault_hook = None
+        if store is not None:
+            store.fault_hook = None

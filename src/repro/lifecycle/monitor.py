@@ -155,6 +155,19 @@ class DriftMonitor:
         self._labels = _ProbeLabels(current, probes, counts)
         return counts
 
+    def probe_truth(self, probes: tuple[Query, ...] | None = None
+                    ) -> tuple[tuple[Query, ...], np.ndarray]:
+        """Probe queries with ground truth at the store's current version.
+
+        Public face of the incremental labeler, for consumers other than
+        ``decide()`` — the canary :class:`~repro.lifecycle.ShadowEvaluator`
+        scores candidate models against exactly these labels, so candidate
+        and incumbent are judged on identical truth.
+        """
+        if probes is None:
+            probes = self.probe_queries
+        return probes, self._labeled_counts(probes)
+
     def _probe_median(self, probes: tuple[Query, ...]) -> float | None:
         """Median probe Q-Error of the currently served plan.
 

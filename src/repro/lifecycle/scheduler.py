@@ -27,7 +27,19 @@ rails a production control plane needs:
   :class:`~repro.lifecycle.CompactionPolicy` rewrites the chunks to drop
   dead rows and escalates to the same background cold-train/swap path
   (deltas cannot span a compaction, and a clean retrain erases the
-  approximation negative-replay fine-tuning accumulates).
+  approximation negative-replay fine-tuning accumulates);
+* **canary gating** — every candidate the loop produces (fine-tune or cold
+  train) is shadow-evaluated by the :class:`~repro.lifecycle.ShadowEvaluator`
+  against the drift probe set before it may swap in; a candidate whose probe
+  median Q-Error is worse than ``canary_margin`` times the incumbent's is
+  rejected (``canary_reject`` event) and the incumbent keeps serving;
+* **failure backoff & circuit breaker** — a failed refresh / cold train /
+  compaction parks the tune path for an exponentially growing
+  ``failure_backoff_seconds`` window instead of consuming the success
+  cooldown; ``breaker_failure_threshold`` *consecutive* failures open a
+  circuit breaker that refuses all tuning until ``breaker_cooldown_seconds``
+  pass, then half-opens for a single trial (success closes it, failure
+  re-opens).  Every transition is a ``breaker`` event.
 
 Every step is recorded in the :class:`~repro.lifecycle.EventLog`; nothing
 the loop does can raise into (or block) the serving path.
@@ -45,6 +57,7 @@ from .compaction import CompactionPolicy
 from .events import EventLog, LifecycleEvent
 from .monitor import DriftMonitor, RefreshDecision
 from .retention import RetentionPolicy
+from .shadow import ShadowEvaluator
 
 __all__ = ["RefreshScheduler"]
 
@@ -75,6 +88,14 @@ class RefreshScheduler:
         self._finalise_lock = threading.Lock()
         self._consecutive_hits = 0
         self._last_tune_at: float | None = None
+        self.shadow = ShadowEvaluator(self.monitor, self.policy)
+        # Chaos seam: tests/soak drivers install a FaultInjector here; the
+        # throttle closure fires it at site "trainer.step".
+        self.fault_injector = None
+        self._consecutive_failures = 0
+        self._backoff_until: float | None = None
+        self._breaker_state = "closed"  # closed | open | half_open
+        self._breaker_opened_at: float | None = None
 
     # ------------------------------------------------------------------
     # Daemon lifecycle
@@ -123,6 +144,7 @@ class RefreshScheduler:
         pending = self._finalise_cold_train()
         if pending is not None:
             return pending
+        self._breaker_poll()
         compacted = self._maybe_compact()
         if compacted is not None:
             return compacted
@@ -145,6 +167,10 @@ class RefreshScheduler:
         self._consecutive_hits += 1
         if self._consecutive_hits < self.policy.debounce_polls:
             return "debounce"
+        if self._breaker_state == "open":
+            return "breaker_open"
+        if self._in_backoff():
+            return "backoff"
         if self._in_cooldown():
             return "cooldown"
         return "tune"
@@ -155,6 +181,65 @@ class RefreshScheduler:
                 < self.policy.cooldown_seconds)
 
     # ------------------------------------------------------------------
+    # Failure accounting: backoff + circuit breaker
+    # ------------------------------------------------------------------
+    @property
+    def breaker_state(self) -> str:
+        """Circuit-breaker state: ``closed`` | ``open`` | ``half_open``."""
+        return self._breaker_state
+
+    def _in_backoff(self) -> bool:
+        return (self._backoff_until is not None
+                and time.monotonic() < self._backoff_until)
+
+    def _breaker_poll(self) -> None:
+        """Half-open an expired breaker so the next decision may trial-tune."""
+        if (self._breaker_state == "open"
+                and self._breaker_opened_at is not None
+                and time.monotonic() - self._breaker_opened_at
+                >= self.policy.breaker_cooldown_seconds):
+            self._breaker_state = "half_open"
+            self.events.record("breaker", state="half_open",
+                               consecutive_failures=self._consecutive_failures)
+
+    def _note_failure(self, stage: str) -> None:
+        """Fold one tune-path failure into backoff and breaker state.
+
+        Failures deliberately do *not* touch ``_last_tune_at``: the success
+        cooldown spaces out training *cost*, while this path spaces out
+        *retries* — a failed tune that consumed the cooldown would delay the
+        recovery it never earned.
+        """
+        policy = self.policy
+        self._consecutive_failures += 1
+        if policy.failure_backoff_seconds > 0:
+            delay = min(policy.failure_backoff_seconds
+                        * 2 ** (self._consecutive_failures - 1),
+                        policy.failure_backoff_max_seconds)
+            self._backoff_until = time.monotonic() + delay
+        threshold = policy.breaker_failure_threshold
+        opens = (self._breaker_state == "half_open"
+                 or (self._breaker_state == "closed" and threshold is not None
+                     and self._consecutive_failures >= threshold))
+        if opens:
+            self._breaker_state = "open"
+            self._breaker_opened_at = time.monotonic()
+            self.events.record(
+                "breaker", state="open", stage=stage,
+                consecutive_failures=self._consecutive_failures,
+                cooldown_seconds=self.policy.breaker_cooldown_seconds)
+
+    def _note_success(self) -> None:
+        """A tune landed: clear failure state, close the breaker, start cooldown."""
+        if self._breaker_state != "closed":
+            self._breaker_state = "closed"
+            self._breaker_opened_at = None
+            self.events.record("breaker", state="closed")
+        self._consecutive_failures = 0
+        self._backoff_until = None
+        self._last_tune_at = time.monotonic()
+
+    # ------------------------------------------------------------------
     # Acting on a decision
     # ------------------------------------------------------------------
     def _execute(self, decision: RefreshDecision) -> None:
@@ -163,22 +248,34 @@ class RefreshScheduler:
         try:
             started = time.perf_counter()
             swaps_before = self.service.snapshot().model_swaps
+            rejected: list = []
             try:
-                entry = self.service.refresh(epochs=self.policy.refresh_epochs,
-                                             throttle=self._make_throttle())
+                entry = self.service.refresh(
+                    epochs=self.policy.refresh_epochs,
+                    throttle=self._make_throttle(),
+                    gate=self._canary_gate("refresh", rejected))
             except DomainGrowthError as error:
                 if not self.policy.cold_train_on_growth:
                     self.events.record("error", stage="refresh",
                                        error=repr(error))
+                    self._note_failure("refresh")
                     return
                 self._cold_train = start_cold_train(
                     self.service, epochs=self.policy.cold_train_epochs,
-                    throttle=self._make_throttle())
+                    throttle=self._make_throttle(),
+                    gate=self._canary_gate("cold_train"))
                 self.events.record("cold_train", status="started",
                                    grown_columns=list(error.columns))
                 return
             except Exception as error:  # noqa: BLE001 — log, keep serving
                 self.events.record("error", stage="refresh", error=repr(error))
+                self._note_failure("refresh")
+                return
+            if rejected:
+                # Canary turned the candidate away: not a fault (backoff
+                # would punish a control plane doing its job), but the tune
+                # burned real cycles, so the success cooldown still applies.
+                self._last_tune_at = time.monotonic()
                 return
             # refresh() returns None both for "tuned, no registry" and for
             # "nothing to do" (the triggers can fire on pure accuracy decay
@@ -188,6 +285,7 @@ class RefreshScheduler:
                     and self.service.snapshot().model_swaps == swaps_before):
                 self.events.record("decision", action="refresh_noop",
                                    reasons=list(decision.reasons))
+                self._last_tune_at = time.monotonic()
                 return
             self.events.record(
                 "refresh", reasons=list(decision.reasons),
@@ -196,23 +294,26 @@ class RefreshScheduler:
                 data_version=self.service.data_version,
                 seconds=round(time.perf_counter() - started, 3))
             self._after_tune()
+            self._note_success()
         finally:
             self._consecutive_hits = 0
-            self._last_tune_at = time.monotonic()
             self._tune_lock.release()
 
     def _maybe_compact(self) -> LifecycleEvent | None:
         """Compact a tombstone-heavy store and escalate; ``None`` when idle.
 
         Compaction is cheap but the cold train it escalates to is not, so
-        the check respects the tune cooldown and the at-most-one-tune rule
-        (the tombstone fraction persists, so a skipped opportunity simply
-        fires on a later poll).  Like every scheduler action it is
-        error-contained: a failure is logged and serving continues against
-        the uncompacted store.
+        the check respects the tune cooldown, the failure backoff/breaker,
+        and the at-most-one-tune rule (the tombstone fraction persists, so a
+        skipped opportunity simply fires on a later poll).  Like every
+        scheduler action it is error-contained: a failure is logged, feeds
+        the failure backoff, and serving continues against the uncompacted
+        store.
         """
         if not self.compaction.should_compact(getattr(self.service, "store",
                                                       None)):
+            return None
+        if self._breaker_state == "open" or self._in_backoff():
             return None
         if self._in_cooldown():
             return None
@@ -225,20 +326,22 @@ class RefreshScheduler:
                 tombstone_fraction=round(report.tombstone_fraction, 4),
                 dropped_rows=report.dropped_rows,
                 data_version=report.data_version)
+            self._last_tune_at = time.monotonic()
             # The served model's delta base predates the new chunk layout:
             # fine-tuning can no longer see what changed, so go straight to
             # the background cold-train/swap path.
             self._cold_train = start_cold_train(
                 self.service, epochs=self.policy.cold_train_epochs,
-                throttle=self._make_throttle())
+                throttle=self._make_throttle(),
+                gate=self._canary_gate("cold_train"))
             self.events.record("cold_train", status="started",
                                reason="compaction")
             return event
         except Exception as error:  # noqa: BLE001 — log, keep serving
+            self._note_failure("compaction")
             return self.events.record("error", stage="compaction",
                                       error=repr(error))
         finally:
-            self._last_tune_at = time.monotonic()
             self._tune_lock.release()
 
     def _finalise_cold_train(self) -> LifecycleEvent | None:
@@ -256,16 +359,22 @@ class RefreshScheduler:
                 return self.events.record("decision", action="cold_train_pending")
             self._cold_train = None
         if pending.error is not None:
-            self._last_tune_at = time.monotonic()
+            self._note_failure("cold_train")
             return self.events.record("error", stage="cold_train",
                                       error=repr(pending.error))
+        if pending.rejected:
+            # The canary already recorded its canary_reject; the incumbent
+            # keeps serving, and the wasted training cost starts a cooldown.
+            self._last_tune_at = time.monotonic()
+            return self.events.record("cold_train", status="rejected",
+                                      data_version=pending.data_version)
         event = self.events.record(
             "cold_train", status="swapped",
             version=pending.entry.version if pending.entry is not None
             else self.service.model_version,
             data_version=pending.data_version)
         self._after_tune()
-        self._last_tune_at = time.monotonic()
+        self._note_success()
         return event
 
     def _after_tune(self) -> None:
@@ -282,17 +391,60 @@ class RefreshScheduler:
             trimmed_store_versions=report.trimmed_store_versions,
             baseline_qerror=baseline)
 
+    def _canary_gate(self, stage: str, rejected: list | None = None):
+        """Build the shadow-evaluation gate for one tune attempt.
+
+        Returns ``None`` when canary gating is disabled
+        (``canary_margin=None``).  The gate records a ``canary_pass`` /
+        ``canary_reject`` event per verdict and appends reject reports to
+        ``rejected`` (the caller's box for telling a rejection apart from a
+        no-op).  An evaluation *error* fails open — a broken canary must not
+        be able to park refreshes forever — but is logged.
+        """
+        shadow = getattr(self, "shadow", None)
+        if shadow is None or not shadow.enabled:
+            return None
+
+        def gate(candidate) -> bool:
+            try:
+                report = shadow.evaluate(candidate)
+            except Exception as error:  # noqa: BLE001 — fail open
+                self.events.record("error", stage=f"canary_{stage}",
+                                   error=repr(error))
+                return True
+            self.events.record(
+                "canary_pass" if report.passed else "canary_reject",
+                stage=stage, reason=report.reason,
+                candidate_median=report.candidate_median,
+                incumbent_median=report.incumbent_median,
+                margin=report.margin, probe_size=report.probe_size)
+            if not report.passed and rejected is not None:
+                rejected.append(report)
+            return report.passed
+
+        return gate
+
     def _make_throttle(self):
-        """Backpressure hook for the tuning loop: yield every K steps."""
+        """Backpressure hook for the tuning loop: yield every K steps.
+
+        Doubles as the trainer's fault seam: an installed
+        :class:`~repro.lifecycle.FaultInjector` fires at ``trainer.step``
+        on every optimiser step, inside the training loop but outside the
+        serving path.
+        """
         policy = self.policy
-        if policy.tune_yield_seconds <= 0:
+        injector = getattr(self, "fault_injector", None)
+        if policy.tune_yield_seconds <= 0 and injector is None:
             return None
         steps = 0
 
         def throttle() -> None:
             nonlocal steps
             steps += 1
-            if steps % policy.tune_slice_batches == 0:
+            if injector is not None:
+                injector.fire("trainer.step", step=steps)
+            if (policy.tune_yield_seconds > 0
+                    and steps % policy.tune_slice_batches == 0):
                 time.sleep(policy.tune_yield_seconds)
 
         return throttle

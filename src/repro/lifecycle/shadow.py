@@ -1,0 +1,103 @@
+"""Canary-gated swaps: shadow-evaluate every candidate before it serves.
+
+Until this module existed, every model the control plane produced — a
+``refresh()`` fine-tune or an escalated cold train — was swapped in
+*unevaluated*: a tune that happened to make the model worse (poisoned
+batch, unlucky replay sample, a training fault that silently degraded
+convergence) replaced a healthy incumbent.  The :class:`ShadowEvaluator`
+closes that hole with the cheapest honest comparison available:
+
+* the :class:`~repro.lifecycle.DriftMonitor` already maintains a probe set
+  of recently served queries with ground truth rolled forward to the live
+  store version — exactly the evaluation workload a canary needs, for free;
+* the incumbent's probe median Q-Error is measured through the service's
+  stats/cache-bypassing ``probe_batch`` (monitoring never skews serving
+  metrics);
+* the candidate is evaluated out-of-band on its own tape path — it owns no
+  plan and serves no traffic until it passes.
+
+A candidate whose probe median exceeds
+:attr:`~repro.core.LifecyclePolicy.canary_margin` times the incumbent's is
+rejected: nothing is registered, nothing swaps, the incumbent keeps
+serving.  The scheduler records every verdict as a ``canary_pass`` /
+``canary_reject`` event.  A probe window still too small to trust
+(``min_probe_queries``) abstains — the candidate is admitted exactly as it
+would have been before canary gating existed, with the abstention visible
+in the event's ``reason``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.config import LifecyclePolicy
+from ..core.estimator import DuetEstimator
+from ..eval.metrics import qerror
+
+__all__ = ["CanaryReport", "ShadowEvaluator"]
+
+
+@dataclass(frozen=True)
+class CanaryReport:
+    """Verdict of one shadow evaluation of a candidate model."""
+
+    passed: bool
+    reason: str                      #: pass | degraded | insufficient_probes
+    candidate_median: float | None   #: candidate probe median Q-Error
+    incumbent_median: float | None   #: incumbent probe median Q-Error
+    margin: float                    #: candidate admitted iff cand <= margin * inc
+    probe_size: int                  #: probe queries the medians cover
+
+    def __str__(self) -> str:
+        verdict = "pass" if self.passed else "reject"
+        return (f"canary_{verdict}({self.reason}) "
+                f"candidate={self.candidate_median} "
+                f"incumbent={self.incumbent_median} margin={self.margin} "
+                f"probes={self.probe_size}")
+
+
+class ShadowEvaluator:
+    """Judges candidate models against the incumbent on the drift probe set."""
+
+    def __init__(self, monitor, policy: LifecyclePolicy | None = None) -> None:
+        self.monitor = monitor
+        self.policy = policy or monitor.policy
+
+    @property
+    def enabled(self) -> bool:
+        return self.policy.canary_margin is not None
+
+    def evaluate(self, candidate_model) -> CanaryReport:
+        """Shadow-run ``candidate_model`` over the probe set; judge it.
+
+        Both sides are scored against ground truth at the *current* store
+        version (the monitor's incrementally rolled-forward labels), so a
+        candidate trained on fresher data gets full credit for it.  The
+        candidate runs its tape path out-of-band; the incumbent runs
+        whatever plan currently serves, through the cache/stats-bypassing
+        probe path.
+        """
+        margin = self.policy.canary_margin
+        if margin is None:
+            raise RuntimeError("canary gating is disabled (canary_margin is "
+                               "None); check .enabled before evaluating")
+        probes = self.monitor.probe_queries
+        if len(probes) < self.policy.min_probe_queries:
+            return CanaryReport(passed=True, reason="insufficient_probes",
+                                candidate_median=None, incumbent_median=None,
+                                margin=margin, probe_size=len(probes))
+        probes, truth = self.monitor.probe_truth(probes)
+        service = self.monitor.service
+        incumbent = float(np.median(qerror(service.probe_batch(probes), truth)))
+        candidate_estimates = np.asarray(
+            DuetEstimator(candidate_model).estimate_batch(list(probes)),
+            dtype=np.float64)
+        candidate = float(np.median(qerror(candidate_estimates, truth)))
+        passed = candidate <= margin * incumbent
+        return CanaryReport(passed=passed,
+                            reason="pass" if passed else "degraded",
+                            candidate_median=candidate,
+                            incumbent_median=incumbent,
+                            margin=margin, probe_size=len(probes))

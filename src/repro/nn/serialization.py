@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 import json
+import os
 from pathlib import Path
 
 import numpy as np
@@ -27,6 +28,11 @@ def save_module(module: Module, path: str | Path, metadata: dict | None = None) 
 
     The file is a standard ``.npz`` archive; metadata is stored under the
     reserved key ``__metadata__`` as a JSON string.
+
+    The write is atomic: the archive is assembled under a scratch name in
+    the same directory and published with ``os.replace``, so a crash
+    mid-save leaves either the previous checkpoint or none — never a
+    truncated archive under the final name.
     """
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
@@ -34,7 +40,12 @@ def save_module(module: Module, path: str | Path, metadata: dict | None = None) 
     payload = {key.replace(".", "/"): value for key, value in state.items()}
     payload["__metadata__"] = np.array(json.dumps(metadata or {}))
     target = npz_path(path)
-    np.savez(target, **payload)
+    scratch = target.with_name(target.name + ".tmp.npz")
+    try:
+        np.savez(scratch, **payload)
+        os.replace(scratch, target)
+    finally:
+        scratch.unlink(missing_ok=True)
     return target
 
 

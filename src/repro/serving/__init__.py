@@ -27,7 +27,14 @@ Quickstart::
 from ..core.config import ServingConfig
 from .batcher import BatcherStats, MicroBatcher
 from .cache import EstimateCache, QueryKeyEncoder
-from .registry import ModelRegistry, RegistryEntry, SchemaTable, TableSchema
+from .registry import (
+    ModelRegistry,
+    QuarantinedVersion,
+    RecoveryReport,
+    RegistryEntry,
+    SchemaTable,
+    TableSchema,
+)
 from .service import EstimationService
 from .stats import ServiceStats, StatsSnapshot
 
@@ -35,6 +42,8 @@ __all__ = [
     "ServingConfig",
     "ModelRegistry",
     "RegistryEntry",
+    "QuarantinedVersion",
+    "RecoveryReport",
     "TableSchema",
     "SchemaTable",
     "EstimateCache",

@@ -15,7 +15,9 @@ dataset name.
 from __future__ import annotations
 
 import dataclasses
+import hashlib
 import json
+import os
 import re
 import shutil
 import threading
@@ -34,12 +36,23 @@ from ..data.table import Table
 from ..nn import PlanOptions
 from ..nn.serialization import load_module, npz_path, save_module
 
-__all__ = ["TableSchema", "SchemaTable", "RegistryEntry", "ModelRegistry"]
+__all__ = ["TableSchema", "SchemaTable", "RegistryEntry", "ModelRegistry",
+           "QuarantinedVersion", "RecoveryReport"]
 
 _MODEL_FILE = "model.npz"
 _SCHEMA_FILE = "schema.npz"
 _MANIFEST_FILE = "manifest.json"
+_QUARANTINE_DIR = ".quarantine"
 _VERSION_PATTERN = re.compile(r"^v(\d+)$")
+
+
+def _file_checksum(path: Path) -> str:
+    """sha256 hex digest of ``path``'s contents."""
+    digest = hashlib.sha256()
+    with open(path, "rb") as handle:
+        for block in iter(lambda: handle.read(1 << 20), b""):
+            digest.update(block)
+    return digest.hexdigest()
 
 
 class SchemaTable(Table):
@@ -111,7 +124,14 @@ class TableSchema:
                    for index, values in enumerate(self.distinct_values)}
         payload["__header__"] = np.array(json.dumps(header))
         target = npz_path(path)
-        np.savez(target, **payload)
+        # Write-then-rename, matching save_module: a crash mid-write never
+        # leaves a truncated schema under the final name.
+        scratch = target.with_name(target.name + ".tmp.npz")
+        try:
+            np.savez(scratch, **payload)
+            os.replace(scratch, target)
+        finally:
+            scratch.unlink(missing_ok=True)
         return target
 
     @classmethod
@@ -148,6 +168,30 @@ class RegistryEntry:
         return self.directory / _SCHEMA_FILE
 
 
+@dataclass(frozen=True)
+class QuarantinedVersion:
+    """One ``(dataset, version)`` recovery set aside instead of serving."""
+
+    dataset: str
+    version: str
+    reason: str          #: missing_model | missing_schema | checksum_mismatch | orphan
+    moved_to: Path | None
+
+
+@dataclass(frozen=True)
+class RecoveryReport:
+    """What one :meth:`ModelRegistry.recover` pass found and fixed."""
+
+    checked: int                                    #: manifest entries examined
+    quarantined: tuple[QuarantinedVersion, ...]     #: entries/dirs set aside
+    adopted: tuple[tuple[str, str], ...]            #: versions re-indexed after a lost manifest
+    manifest_rebuilt: bool                          #: manifest was unreadable and rebuilt from disk
+
+    @property
+    def clean(self) -> bool:
+        return not self.quarantined and not self.manifest_rebuilt
+
+
 def _config_to_dict(config: DuetConfig) -> dict:
     payload = dataclasses.asdict(config)
     payload["hidden_sizes"] = list(config.hidden_sizes)
@@ -171,6 +215,17 @@ class ModelRegistry:
         # lifecycle controller prunes from its daemon thread while serving
         # threads may be saving refreshed models into the same registry.
         self._manifest_lock = threading.Lock()
+        #: optional fault-injection hook, called as ``hook(site, **context)``
+        #: at the I/O sites ``registry.save`` (before any file is written)
+        #: and ``registry.manifest`` (checkpoint written, manifest not yet)
+        #: — the seam :class:`~repro.lifecycle.FaultInjector` threads
+        #: through; ``None`` (the default) costs one attribute read.
+        self.fault_hook = None
+
+    def _fault(self, site: str, **context) -> None:
+        hook = self.fault_hook
+        if hook is not None:
+            hook(site, **context)
 
     # ------------------------------------------------------------------
     # Manifest bookkeeping
@@ -212,6 +267,7 @@ class ModelRegistry:
         against the live store to report staleness.
         """
         with self._manifest_lock:
+            self._fault("registry.save", dataset=dataset)
             manifest = self._read_manifest()
             entry = manifest["datasets"].setdefault(dataset,
                                                     {"latest": None, "versions": {}})
@@ -228,12 +284,20 @@ class ModelRegistry:
                 model_metadata["compile_options"] = compile_options.to_dict()
             save_module(model, directory / _MODEL_FILE, metadata=model_metadata)
             TableSchema.from_table(model.table).save(directory / _SCHEMA_FILE)
+            # Checkpoint files are on disk; a crash between here and the
+            # manifest rewrite leaves an uncommitted orphan directory that
+            # recover() quarantines on the next start.
+            self._fault("registry.manifest", dataset=dataset, version=version)
 
             record = {
                 "created_at": time.time(),
                 "num_parameters": model.num_parameters(),
                 "metadata": metadata or {},
                 "data_version": data_version,
+                "checksums": {
+                    _MODEL_FILE: _file_checksum(directory / _MODEL_FILE),
+                    _SCHEMA_FILE: _file_checksum(directory / _SCHEMA_FILE),
+                },
             }
             entry["versions"][version] = record
             entry["latest"] = version
@@ -306,11 +370,169 @@ class ModelRegistry:
             shutil.rmtree(self.root / dataset / name, ignore_errors=True)
         return doomed
 
+    def discard(self, dataset: str, version: str) -> bool:
+        """Remove one registered version: manifest record first, then files.
+
+        The rollback half of a failed swap: a candidate that was registered
+        but could not be installed must not linger as a never-served
+        "latest" that retention then protects forever.  ``latest`` is
+        re-pointed at the newest surviving version (by creation time).
+        Returns ``False`` when ``(dataset, version)`` was not registered.
+        """
+        with self._manifest_lock:
+            manifest = self._read_manifest()
+            entry = manifest["datasets"].get(dataset)
+            if entry is None or version not in entry["versions"]:
+                return False
+            del entry["versions"][version]
+            if entry["latest"] == version:
+                entry["latest"] = self._newest(entry["versions"])
+            self._write_manifest(manifest)
+        shutil.rmtree(self.root / dataset / version, ignore_errors=True)
+        return True
+
     @staticmethod
     def _next_version(versions: dict) -> str:
         numbers = [int(match.group(1)) for name in versions
                    if (match := _VERSION_PATTERN.match(name))]
         return f"v{max(numbers, default=0) + 1}"
+
+    @staticmethod
+    def _newest(versions: dict) -> str | None:
+        """Most recently created version name, or ``None`` when empty."""
+
+        def recency(name: str) -> tuple:
+            match = _VERSION_PATTERN.match(name)
+            return (versions[name]["created_at"],
+                    int(match.group(1)) if match else -1, name)
+
+        return max(versions, key=recency, default=None)
+
+    # ------------------------------------------------------------------
+    # Crash recovery
+    # ------------------------------------------------------------------
+    def _verify_record(self, dataset: str, version: str, record: dict) -> str | None:
+        """Why ``(dataset, version)`` cannot be served; ``None`` when it can."""
+        directory = self.root / dataset / version
+        if not (directory / _MODEL_FILE).exists():
+            return "missing_model"
+        if not (directory / _SCHEMA_FILE).exists():
+            return "missing_schema"
+        for filename, expected in (record.get("checksums") or {}).items():
+            if _file_checksum(directory / filename) != expected:
+                return "checksum_mismatch"
+        return None
+
+    def _quarantine_files(self, dataset: str, version: str) -> Path | None:
+        """Move ``(dataset, version)``'s directory under the quarantine area."""
+        source = self.root / dataset / version
+        if not source.exists():
+            return None
+        pen = self.root / _QUARANTINE_DIR
+        pen.mkdir(parents=True, exist_ok=True)
+        target = pen / f"{dataset}-{version}"
+        suffix = 1
+        while target.exists():
+            suffix += 1
+            target = pen / f"{dataset}-{version}-{suffix}"
+        shutil.move(str(source), str(target))
+        return target
+
+    def _adopt_from_disk(self, manifest: dict) -> list[tuple[str, str]]:
+        """Re-index loadable version directories into a rebuilt manifest."""
+        adopted: list[tuple[str, str]] = []
+        for dataset_dir in sorted(self.root.iterdir()):
+            if not dataset_dir.is_dir() or dataset_dir.name == _QUARANTINE_DIR:
+                continue
+            versions: dict = {}
+            for version_dir in sorted(dataset_dir.iterdir()):
+                model_path = version_dir / _MODEL_FILE
+                if not model_path.exists() or not (version_dir / _SCHEMA_FILE).exists():
+                    continue
+                try:
+                    metadata = load_metadata(model_path)
+                except Exception:  # noqa: BLE001 — unreadable archive: skip
+                    continue
+                versions[version_dir.name] = {
+                    "created_at": model_path.stat().st_mtime,
+                    "num_parameters": 0,
+                    "metadata": {"recovered": True},
+                    "data_version": metadata.get("data_version"),
+                    "checksums": {
+                        _MODEL_FILE: _file_checksum(model_path),
+                        _SCHEMA_FILE: _file_checksum(version_dir / _SCHEMA_FILE),
+                    },
+                }
+                adopted.append((dataset_dir.name, version_dir.name))
+            if versions:
+                manifest["datasets"][dataset_dir.name] = {
+                    "latest": self._newest(versions), "versions": versions}
+        return adopted
+
+    def recover(self) -> RecoveryReport:
+        """Startup consistency pass: quarantine what a crash left behind.
+
+        Three failure shapes are repaired, none of them fatally:
+
+        * a manifest entry whose checkpoint files are missing or fail their
+          recorded checksums (torn write below the filesystem, a crash
+          mid-prune, external corruption) is *quarantined* — dropped from
+          the manifest, its files moved under ``.quarantine/``, and
+          ``latest`` re-pointed at the newest surviving version — instead
+          of poisoning every later :meth:`load_estimator`;
+        * a version directory the manifest never committed (crash between
+          checkpoint write and manifest rewrite) is quarantined as an
+          uncommitted orphan — the manifest is the source of truth;
+        * an unreadable ``manifest.json`` is set aside and rebuilt by
+          re-indexing every loadable version directory on disk.
+
+        Idempotent: a clean registry is untouched and reports
+        :attr:`RecoveryReport.clean`.
+        """
+        with self._manifest_lock:
+            rebuilt = False
+            try:
+                manifest = self._read_manifest()
+            except (json.JSONDecodeError, OSError):
+                rebuilt = True
+                corrupt = self.manifest_path.with_name(_MANIFEST_FILE + ".corrupt")
+                os.replace(self.manifest_path, corrupt)
+                manifest = {"datasets": {}}
+            adopted = self._adopt_from_disk(manifest) if rebuilt else []
+            quarantined: list[QuarantinedVersion] = []
+            checked = 0
+            for dataset, entry in manifest["datasets"].items():
+                for version in list(entry["versions"]):
+                    checked += 1
+                    reason = self._verify_record(dataset, version,
+                                                 entry["versions"][version])
+                    if reason is None:
+                        continue
+                    del entry["versions"][version]
+                    quarantined.append(QuarantinedVersion(
+                        dataset=dataset, version=version, reason=reason,
+                        moved_to=self._quarantine_files(dataset, version)))
+                if entry["latest"] not in entry["versions"]:
+                    entry["latest"] = self._newest(entry["versions"])
+            # Orphan directories: checkpoints written but never committed.
+            for dataset_dir in sorted(self.root.iterdir()):
+                if not dataset_dir.is_dir() or dataset_dir.name == _QUARANTINE_DIR:
+                    continue
+                committed = manifest["datasets"].get(dataset_dir.name,
+                                                     {"versions": {}})["versions"]
+                for version_dir in sorted(dataset_dir.iterdir()):
+                    if version_dir.is_dir() and version_dir.name not in committed:
+                        quarantined.append(QuarantinedVersion(
+                            dataset=dataset_dir.name, version=version_dir.name,
+                            reason="orphan",
+                            moved_to=self._quarantine_files(dataset_dir.name,
+                                                            version_dir.name)))
+            if quarantined or rebuilt:
+                self._write_manifest(manifest)
+            return RecoveryReport(checked=checked,
+                                  quarantined=tuple(quarantined),
+                                  adopted=tuple(adopted),
+                                  manifest_rebuilt=rebuilt)
 
     # ------------------------------------------------------------------
     # Load

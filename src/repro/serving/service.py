@@ -261,7 +261,7 @@ class EstimationService:
     def refresh(self, *, epochs: int | None = None,
                 replay_fraction: float | None = None,
                 version: str | None = None,
-                throttle=None) -> RegistryEntry | None:
+                throttle=None, gate=None) -> RegistryEntry | None:
         """Absorb churned data: fine-tune, re-register, hot-swap, invalidate.
 
         Runs :meth:`DuetTrainer.fine_tune` over the delta between the served
@@ -279,8 +279,16 @@ class EstimationService:
         every optimiser step); the lifecycle scheduler uses it to make the
         tune yield to serving threads in bounded batch slices.
 
+        ``gate`` is the canary hook: a callable receiving the fine-tuned
+        candidate model *before* it is registered or installed.  Returning
+        falsy rejects the candidate — nothing is saved, nothing swaps, the
+        incumbent keeps serving, and ``refresh`` returns ``None``.  The
+        lifecycle scheduler passes a shadow evaluation over the drift
+        monitor's probe set here.
+
         Returns the new :class:`RegistryEntry` (``None`` when nothing
-        churned, or when no registry is attached).  Raises
+        churned, when the gate rejected the candidate, or when no registry
+        is attached).  Raises
         :class:`~repro.data.DomainGrowthError` when an append grew a
         column's domain — that case needs a cold train, which no amount of
         fine-tuning can replace.
@@ -316,6 +324,8 @@ class EstimationService:
                 replay_fraction=(replay_fraction if replay_fraction is not None
                                  else self.config.replay_fraction),
                 throttle=throttle)
+            if gate is not None and not gate(tuned):
+                return None
             entry = None
             if self.registry is not None:
                 entry = self.registry.save(
@@ -324,8 +334,15 @@ class EstimationService:
                               "base_data_version": delta.base_version},
                     compile_options=getattr(self.estimator, "compile_options", None),
                     data_version=snapshot.data_version)
-            self._install(tuned, snapshot.data_version,
-                          entry.version if entry is not None else None)
+            try:
+                self._install(tuned, snapshot.data_version,
+                              entry.version if entry is not None else None)
+            except Exception:
+                # A registered-but-never-installed version must not become
+                # the manifest's protected "latest" — roll the save back.
+                if entry is not None:
+                    self.registry.discard(entry.dataset, entry.version)
+                raise
             return entry
 
     def swap_model(self, model, *, data_version: int | None = None,

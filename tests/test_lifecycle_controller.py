@@ -144,6 +144,12 @@ class TestLifecyclePolicy:
         {"tune_slice_batches": 0},
         {"tune_yield_seconds": -0.1},
         {"keep_model_versions": 0},
+        {"canary_margin": 0.0},
+        {"canary_margin": -1.0},
+        {"failure_backoff_seconds": -1.0},
+        {"failure_backoff_seconds": 10.0, "failure_backoff_max_seconds": 1.0},
+        {"breaker_failure_threshold": 0},
+        {"breaker_cooldown_seconds": -1.0},
     ])
     def test_rejects_invalid_knobs(self, overrides):
         with pytest.raises(ValueError):

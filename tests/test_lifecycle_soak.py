@@ -19,7 +19,7 @@ from repro.core import (
 )
 from repro.data import ColumnStore, Table
 from repro.eval import run_soak
-from repro.lifecycle import RefreshScheduler
+from repro.lifecycle import FaultInjector, FaultSpec, RefreshScheduler
 from repro.serving import EstimationService, ModelRegistry
 from repro.workload import make_random_workload
 
@@ -159,3 +159,66 @@ def test_churn_soak_with_timed_deletes(tmp_path):
     assert len(swaps) >= 1                      # compaction escalated
     assert store.tombstone_fraction == 0.0      # dead rows reclaimed
     assert service.staleness() == 0
+
+
+def test_chaos_soak_with_fault_injection(tmp_path):
+    """Chaos mode: a seeded fault plan hits the trainer, the registry, and
+    the store while traffic and mutations run.  The acceptance bar stays
+    the same as every other soak — zero failed estimate requests — plus:
+    faults demonstrably fired, and the registry state left behind passes a
+    cold-start recover()."""
+    rng = np.random.default_rng(2)
+    store = ColumnStore.from_table(Table.from_dict("chaos", {
+        "age": rng.integers(18, 60, size=600),
+        "city": rng.choice(["ams", "ber", "cdg", "dus", "lis"], size=600),
+        "score": rng.integers(0, 12, size=600),
+    }))
+    base = store.snapshot()
+    model = DuetModel(base, CONFIG)
+    DuetTrainer(model, base, config=CONFIG).train()
+    registry = ModelRegistry(tmp_path / "registry")
+    registry.save(model, dataset="chaos")
+
+    policy = LifecyclePolicy(poll_interval_seconds=0.1, max_stale_rows=None,
+                             max_stale_fraction=0.2, probe_sample_rate=0.2,
+                             debounce_polls=1, cooldown_seconds=0.3,
+                             refresh_epochs=1, cold_train_epochs=1,
+                             keep_model_versions=2,
+                             failure_backoff_seconds=0.2,
+                             failure_backoff_max_seconds=0.5,
+                             breaker_failure_threshold=None)
+    faults = FaultInjector([
+        FaultSpec(site="trainer.step", kind="raise"),
+        FaultSpec(site="registry.save", kind="io_error"),
+        FaultSpec(site="trainer.step", kind="stall", stall_seconds=0.02,
+                  times=3, after=50),
+    ], seed=3)
+    with EstimationService.from_registry(
+            registry, "chaos", store=store,
+            config=ServingConfig(max_wait_ms=0.2)) as service:
+        workload = make_random_workload(base, num_queries=150, seed=7,
+                                        label=False)
+        with RefreshScheduler(service, policy) as scheduler:
+            scheduler.monitor.seed_probes(workload.queries[:32])
+            report = run_soak(
+                service, workload, duration_seconds=8.0, concurrency=4,
+                appends=[
+                    (0.5, lambda: store.append(_skewed_batch(store, 0.3, 9))),
+                    (3.0, lambda: store.append(_skewed_batch(store, 0.3, 10))),
+                ],
+                scheduler=scheduler, faults=faults, seed=0)
+            assert scheduler.quiesce(timeout=120.0)
+
+        # Chaos must not reach the serving path.
+        assert report.errors == 0
+        assert report.num_requests > 0
+        # The plan demonstrably fired and landed in the report.
+        assert report.fault_counts == faults.counts()
+        assert sum(report.fault_counts.values()) >= 1
+        # run_soak disarmed the seams on the way out.
+        assert store.fault_hook is None and registry.fault_hook is None
+        # Despite injected tune failures, the controller eventually
+        # recovered: the service still serves and registry state is sane.
+        assert ModelRegistry(registry.root).recover().clean
+        assert registry.load_estimator("chaos") is not None
+        assert service.model_version in registry.versions("chaos")

@@ -1,0 +1,164 @@
+"""Tests of the crash-safe registry: atomic checkpoint writes, per-entry
+checksums, failed-swap rollback (``discard``), the fault-injection seams in
+``ModelRegistry.save``, and the startup ``recover()`` pass that quarantines
+whatever a crash left behind (corrupt files, uncommitted orphan version
+directories, an unreadable manifest) instead of failing to start.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core import DuetConfig, DuetModel, DuetTrainer
+from repro.data import Table
+from repro.lifecycle import FaultInjector, FaultSpec, SimulatedCrash
+from repro.serving import ModelRegistry
+
+CONFIG = DuetConfig(hidden_sizes=(8, 8), epochs=1, batch_size=64,
+                    expand_coefficient=1, lambda_query=0.0, seed=0)
+
+
+@pytest.fixture()
+def model():
+    rng = np.random.default_rng(3)
+    table = Table.from_dict("crash", {
+        "a": rng.integers(0, 20, size=120),
+        "b": rng.choice(["x", "y", "z"], size=120),
+    })
+    model = DuetModel(table, CONFIG)
+    DuetTrainer(model, table, config=CONFIG).train(1)
+    return model
+
+
+@pytest.fixture()
+def registry(tmp_path, model):
+    registry = ModelRegistry(tmp_path / "registry")
+    registry.save(model, dataset="crash")
+    return registry
+
+
+# ----------------------------------------------------------------------
+# Atomic writes + checksums
+# ----------------------------------------------------------------------
+class TestAtomicSave:
+    def test_no_scratch_files_survive_a_save(self, registry):
+        leftovers = [path for path in registry.root.rglob("*.tmp*")]
+        assert leftovers == []
+
+    def test_overwriting_a_version_keeps_it_loadable(self, registry, model):
+        registry.save(model, dataset="crash", version="v1")
+        assert registry.load_estimator("crash", "v1") is not None
+        assert list(registry.root.rglob("*.tmp*")) == []
+
+    def test_manifest_records_checksums(self, registry):
+        manifest = json.loads(registry.manifest_path.read_text())
+        record = manifest["datasets"]["crash"]["versions"]["v1"]
+        assert set(record["checksums"]) == {"model.npz", "schema.npz"}
+        assert all(len(digest) == 64 for digest in record["checksums"].values())
+
+
+# ----------------------------------------------------------------------
+# discard(): the failed-swap rollback
+# ----------------------------------------------------------------------
+class TestDiscard:
+    def test_discard_removes_record_and_files(self, registry, model):
+        entry = registry.save(model, dataset="crash")
+        assert registry.discard("crash", entry.version) is True
+        assert entry.version not in registry.versions("crash")
+        assert not entry.directory.exists()
+        # latest fell back to the surviving version
+        assert registry.latest_version("crash") == "v1"
+        assert registry.load_estimator("crash") is not None
+
+    def test_discard_unknown_version_is_a_noop(self, registry):
+        assert registry.discard("crash", "v99") is False
+        assert registry.discard("nope", "v1") is False
+        assert registry.versions("crash") == ["v1"]
+
+
+# ----------------------------------------------------------------------
+# Fault seams in save()
+# ----------------------------------------------------------------------
+class TestSaveFaults:
+    def test_io_error_at_save_leaves_registry_untouched(self, registry, model):
+        FaultInjector([FaultSpec(site="registry.save", kind="io_error")]).arm(
+            registry=registry)
+        with pytest.raises(OSError):
+            registry.save(model, dataset="crash")
+        FaultInjector.disarm(registry=registry)
+        assert registry.versions("crash") == ["v1"]
+        assert registry.load_estimator("crash") is not None
+
+    def test_crash_between_checkpoint_and_manifest_leaves_orphan(
+            self, registry, model):
+        FaultInjector([FaultSpec(site="registry.manifest", kind="crash")]).arm(
+            registry=registry)
+        with pytest.raises(SimulatedCrash):
+            registry.save(model, dataset="crash")
+        FaultInjector.disarm(registry=registry)
+        # Files landed but the manifest never committed: invisible to loads...
+        assert registry.versions("crash") == ["v1"]
+        assert (registry.root / "crash" / "v2" / "model.npz").exists()
+        # ...and recover() sweeps the orphan into quarantine.
+        report = ModelRegistry(registry.root).recover()
+        assert [(q.dataset, q.version, q.reason) for q in report.quarantined] \
+            == [("crash", "v2", "orphan")]
+        assert not (registry.root / "crash" / "v2").exists()
+        assert report.quarantined[0].moved_to.exists()
+
+
+# ----------------------------------------------------------------------
+# recover()
+# ----------------------------------------------------------------------
+class TestRecover:
+    def test_clean_registry_is_untouched(self, registry):
+        before = registry.manifest_path.read_text()
+        report = registry.recover()
+        assert report.clean
+        assert report.checked == 1
+        assert report.quarantined == ()
+        assert registry.manifest_path.read_text() == before
+
+    def test_corrupt_model_file_is_quarantined(self, registry, model):
+        entry = registry.save(model, dataset="crash")  # v2, becomes latest
+        entry.model_path.write_bytes(b"torn write garbage")
+        fresh = ModelRegistry(registry.root)
+        report = fresh.recover()
+        assert [(q.version, q.reason) for q in report.quarantined] == [
+            ("v2", "checksum_mismatch")]
+        # latest re-pointed at the surviving version; service still loadable
+        assert fresh.latest_version("crash") == "v1"
+        assert fresh.load_estimator("crash") is not None
+        assert not entry.directory.exists()
+
+    def test_missing_files_are_quarantined(self, registry, model):
+        entry = registry.save(model, dataset="crash")
+        entry.model_path.unlink()
+        report = ModelRegistry(registry.root).recover()
+        assert [q.reason for q in report.quarantined] == ["missing_model"]
+
+    def test_missing_schema_is_quarantined(self, registry, model):
+        entry = registry.save(model, dataset="crash")
+        entry.schema_path.unlink()
+        report = ModelRegistry(registry.root).recover()
+        assert [q.reason for q in report.quarantined] == ["missing_schema"]
+
+    def test_unreadable_manifest_is_rebuilt_from_disk(self, registry):
+        registry.manifest_path.write_text("{not json")
+        fresh = ModelRegistry(registry.root)
+        report = fresh.recover()
+        assert report.manifest_rebuilt
+        assert ("crash", "v1") in report.adopted
+        assert fresh.latest_version("crash") == "v1"
+        assert fresh.load_estimator("crash") is not None
+        # the poisoned manifest is preserved for post-mortems
+        assert (registry.root / "manifest.json.corrupt").exists()
+
+    def test_recover_is_idempotent(self, registry, model):
+        entry = registry.save(model, dataset="crash")
+        entry.model_path.unlink()
+        ModelRegistry(registry.root).recover()
+        second = ModelRegistry(registry.root).recover()
+        assert second.clean
+        assert second.quarantined == ()
