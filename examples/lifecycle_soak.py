@@ -21,6 +21,13 @@ registry save, and stalls some optimiser steps while the same traffic and
 mutations run.  The acceptance bar is identical — zero failed requests —
 and the run ends with a cold-start ``ModelRegistry.recover()`` pass over
 whatever the faults left on disk.
+
+The whole run is observable through one :class:`~repro.obs.MetricsRegistry`
+shared by the service and the scheduler: a
+:class:`~repro.obs.MetricsExporter` appends a JSON snapshot of every metric
+(request totals, tombstone fraction, breaker state, canary ratio, …) to
+``--metrics-out`` throughout the soak, and the script ends by reading the
+timeline back to show the breaker/store trajectory.
 """
 
 from __future__ import annotations
@@ -40,6 +47,7 @@ from repro.core import (
 from repro.data import ColumnStore, make_census
 from repro.eval import format_table, qerror, run_soak, summarize_qerrors
 from repro.lifecycle import FaultInjector, FaultSpec, RefreshScheduler
+from repro.obs import MetricsExporter
 from repro.serving import EstimationService, ModelRegistry
 from repro.workload import make_random_workload, true_cardinalities
 
@@ -80,7 +88,8 @@ def chaos_plan() -> FaultInjector:
     ], seed=3)
 
 
-def main(chaos: bool = False) -> None:
+def main(chaos: bool = False,
+         metrics_out: str = "soak_metrics.jsonl") -> None:
     store = ColumnStore.from_table(make_census(scale=0.05, seed=0))
     base = store.snapshot()
     print(f"store {store.name!r}: {base.num_rows} rows, "
@@ -116,9 +125,14 @@ def main(chaos: bool = False) -> None:
                                         label=False)
         with RefreshScheduler(service, policy) as scheduler:
             scheduler.monitor.seed_probes(workload.queries[:64])
+            # One registry serves both planes, so one exporter snapshots
+            # serving counters and lifecycle gauges side by side.
+            exporter = MetricsExporter(service.metrics, metrics_out,
+                                       interval_seconds=1.0)
             print(f"scheduler running: {policy.max_stale_fraction:.0%} "
                   f"staleness threshold, {policy.qerror_drift_factor}x drift "
-                  f"factor, debounce {policy.debounce_polls} polls\n")
+                  f"factor, debounce {policy.debounce_polls} polls")
+            print(f"metrics timeline -> {metrics_out}\n")
             report = run_soak(
                 service, workload, duration_seconds=12.0, concurrency=4,
                 appends=[
@@ -127,8 +141,9 @@ def main(chaos: bool = False) -> None:
                     (7.0, lambda: store.append(
                         growing_batch(store, int(store.num_rows * 0.3), 9))),
                 ],
-                scheduler=scheduler, faults=faults, seed=0)
+                scheduler=scheduler, faults=faults, exporter=exporter, seed=0)
             scheduler.quiesce(timeout=120.0)
+            exporter.write_snapshot()  # one post-quiesce data point
 
             print(report)
             if faults is not None:
@@ -159,6 +174,19 @@ def main(chaos: bool = False) -> None:
         print(f"\nversions retained: {registry.versions('census')} "
               f"(policy keeps {policy.keep_model_versions}), "
               f"store versions tracked: {store.tracked_versions}")
+
+        records = MetricsExporter.read_timeline(metrics_out)
+        requests = MetricsExporter.series(records, "repro_batches_total")
+        tombstones = MetricsExporter.series(records,
+                                            "repro_store_tombstone_fraction")
+        breaker = MetricsExporter.series(records,
+                                         "repro_lifecycle_breaker_state")
+        print(f"\nexported timeline: {len(records)} snapshots in {metrics_out}")
+        t0 = records[0]["t"]
+        for (t, passes), (_, dead), (_, state) in zip(requests, tombstones,
+                                                      breaker):
+            print(f"  t+{t - t0:5.1f}s  forward_passes={passes:7.0f}  "
+                  f"tombstone_fraction={dead:.3f}  breaker={state:.0f}")
     if chaos:
         # Cold-start recovery over whatever the fault plan left on disk.
         recovery = ModelRegistry(registry.root).recover()
@@ -180,4 +208,8 @@ if __name__ == "__main__":
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--chaos", action="store_true",
                         help="inject a seeded fault plan into the soak")
-    main(chaos=parser.parse_args().chaos)
+    parser.add_argument("--metrics-out", default="soak_metrics.jsonl",
+                        help="JSONL file the metrics exporter appends "
+                             "snapshots to (default: %(default)s)")
+    arguments = parser.parse_args()
+    main(chaos=arguments.chaos, metrics_out=arguments.metrics_out)

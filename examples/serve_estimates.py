@@ -12,6 +12,11 @@ registry alone (no training state, no data tuples), and drives the
 four configurations: naive one-query-per-tape-pass, micro-batched on the
 tape, micro-batched through the compiled float32 plan, and compiled with
 the estimate cache on top.
+
+The final configuration runs with request tracing sampled at 100% and plan
+profiling on, and the script exits by dumping the service's Prometheus-style
+metrics exposition plus the span trees of the three slowest traced requests
+— where one request actually spent its time, stage by stage.
 """
 
 from __future__ import annotations
@@ -20,7 +25,7 @@ import tempfile
 
 import numpy as np
 
-from repro.core import ServingConfig
+from repro.core import ObsConfig, ServingConfig
 from repro.data import make_census
 from repro.eval import format_serving_table, run_load_test, train_duet
 from repro.nn import PlanOptions
@@ -56,6 +61,10 @@ def main() -> None:
     print(f"float32 plan matches the float64 tape within {worst:.2e} relative")
 
     # 4. Serve under load: replay the workload from 8 concurrent threads.
+    #    The last mode runs fully traced and profiled (tracing at 100% is
+    #    for the demonstration — production samples at a few percent).
+    traced = ObsConfig(trace_sample_rate=1.0, trace_keep_slowest=8,
+                       profile_plan_stages=True)
     reports = []
     modes = [
         ("naive", ServingConfig(micro_batching=False, cache_capacity=0,
@@ -63,19 +72,43 @@ def main() -> None:
         ("micro-batched", ServingConfig(cache_capacity=0, compiled=False)),
         ("batched+compiled", ServingConfig(cache_capacity=0,
                                            inference_dtype="float32")),
-        ("compiled+cache", ServingConfig(inference_dtype="float32")),
+        ("compiled+cache", ServingConfig(inference_dtype="float32",
+                                         obs=traced)),
     ]
+    last_service = None
     for mode, config in modes:
         with EstimationService.from_registry(registry, "census",
                                              config=config) as service:
             reports.append(run_load_test(service, held_out, concurrency=8,
                                          num_requests=2_000, mode=mode, seed=0))
+            last_service = service
     print()
     print(format_serving_table(reports, title="serving throughput (8 threads)"))
     print(f"\nmicro-batching speedup over naive: "
           f"{reports[1].qps / reports[0].qps:.2f}x; "
           f"compiled: {reports[2].qps / reports[0].qps:.2f}x; "
           f"with cache: {reports[3].qps / reports[0].qps:.2f}x")
+
+    # 5. Observability: the traced run's metrics and worst span trees.
+    print("\nmetrics exposition (traced run, excerpt):")
+    for line in last_service.metrics.exposition().splitlines():
+        if line.startswith(("repro_requests_total", "repro_batches_total",
+                            "repro_cache_entries", "repro_plan_buffer_bytes",
+                            "repro_request_latency_seconds_count")):
+            print(f"  {line}")
+
+    profile = last_service.profile_report()
+    made = sum(stage["seconds"] for stage in profile["made_stages"])
+    phases = ", ".join(f"{name}={stats['seconds'] * 1e3:.1f}ms"
+                       for name, stats in profile["phases"].items())
+    print(f"\nplan profile: {phases}; MADE stage total {made * 1e3:.1f}ms "
+          f"across {len(profile['made_stages'])} fused stages")
+
+    print("\ntop-3 slowest traced requests:")
+    for trace in last_service.tracer.slowest(3):
+        print()
+        for line in trace.format_tree().splitlines():
+            print(f"  {line}")
 
 
 if __name__ == "__main__":

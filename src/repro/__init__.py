@@ -17,7 +17,10 @@ The package is organised as one sub-package per subsystem:
   estimate cache, micro-batching scheduler, load-test client);
 * :mod:`repro.lifecycle` — autonomous lifecycle controller (drift
   monitoring, refresh scheduling with backpressure, cold-train escalation,
-  version retention).
+  version retention);
+* :mod:`repro.obs` — observability substrate (metrics registry, sampled
+  request tracing, snapshot exporter) the serving and lifecycle planes
+  report through.
 
 Quickstart::
 
@@ -31,9 +34,9 @@ Quickstart::
     estimator.estimate(workload.Query.from_triples([("age", ">=", 30)]))
 """
 
-from . import baselines, core, data, eval, lifecycle, nn, serving, workload
+from . import baselines, core, data, eval, lifecycle, nn, obs, serving, workload
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
-__all__ = ["baselines", "core", "data", "eval", "lifecycle", "nn", "serving",
-           "workload", "__version__"]
+__all__ = ["baselines", "core", "data", "eval", "lifecycle", "nn", "obs",
+           "serving", "workload", "__version__"]

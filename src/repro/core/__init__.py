@@ -17,6 +17,7 @@ from .config import (
     DuetConfig,
     LifecyclePolicy,
     MPSNConfig,
+    ObsConfig,
     ServingConfig,
     dmv_config,
     small_table_config,
@@ -33,6 +34,7 @@ from .virtual_table import PredicateGuidance, VirtualTableSampler, VirtualTupleB
 __all__ = [
     "DuetConfig",
     "MPSNConfig",
+    "ObsConfig",
     "ServingConfig",
     "LifecyclePolicy",
     "dmv_config",

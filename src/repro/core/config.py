@@ -4,8 +4,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-__all__ = ["DuetConfig", "MPSNConfig", "ServingConfig", "LifecyclePolicy",
-           "dmv_config", "small_table_config"]
+__all__ = ["DuetConfig", "MPSNConfig", "ObsConfig", "ServingConfig",
+           "LifecyclePolicy", "dmv_config", "small_table_config"]
 
 _VALID_VALUE_ENCODINGS = ("binary", "onehot", "embedding")
 _VALID_MPSN_KINDS = ("mlp", "rnn", "recursive")
@@ -90,6 +90,45 @@ class DuetConfig:
 
 
 @dataclass(frozen=True)
+class ObsConfig:
+    """Knobs of the observability layer (:mod:`repro.obs`).
+
+    Attributes
+    ----------
+    trace_sample_rate:
+        Probability that one ``estimate()`` call records a span tree.
+        ``0.0`` (the default) keeps the untraced hot path allocation-free —
+        a single float compare per request; ``1.0`` traces everything.
+    trace_keep_slowest:
+        How many finished traces the tracer retains, slowest first, for
+        ``service.tracer.slowest()``.
+    profile_plan_stages:
+        When true, the compiled :class:`~repro.nn.ForwardPlan` accumulates
+        per-stage wall time and invocation counts (and the compiled model
+        times its encode/forward/mask phases), so plan time can be
+        attributed to individual gather/matmul/mask stages.  Off by
+        default: the profiled ``run()`` loop reads the clock twice per
+        stage.
+    export_interval_seconds:
+        Cadence of the :class:`~repro.obs.MetricsExporter` snapshot-to-file
+        loop when a soak run wires one up.
+    """
+
+    trace_sample_rate: float = 0.0
+    trace_keep_slowest: int = 32
+    profile_plan_stages: bool = False
+    export_interval_seconds: float = 5.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.trace_sample_rate <= 1.0:
+            raise ValueError("trace_sample_rate must be in [0, 1]")
+        if self.trace_keep_slowest <= 0:
+            raise ValueError("trace_keep_slowest must be positive")
+        if self.export_interval_seconds <= 0:
+            raise ValueError("export_interval_seconds must be positive")
+
+
+@dataclass(frozen=True)
 class ServingConfig:
     """Knobs of the online estimation service (:mod:`repro.serving`).
 
@@ -142,6 +181,10 @@ class ServingConfig:
     replay_fraction:
         Old-row replay size of a refresh, as a fraction of the appended
         rows — the anti-forgetting knob of incremental fine-tuning.
+    obs:
+        Observability knobs (:class:`ObsConfig`): trace sampling, plan
+        profiling, exporter cadence.  Defaults keep every hook off, so a
+        plain service pays only the registry counter increments.
     """
 
     micro_batching: bool = True
@@ -153,6 +196,7 @@ class ServingConfig:
     inference_dtype: str | None = None
     refresh_epochs: int = 1
     replay_fraction: float = 0.25
+    obs: ObsConfig = field(default_factory=ObsConfig)
 
     def __post_init__(self) -> None:
         if self.max_batch_size <= 0:

@@ -32,6 +32,11 @@ class EstimationBreakdown(dict):
     Keys: ``encoding`` (predicate translation + input encoding) and
     ``inference`` (network forward pass + zero-out + product).  Figure 6 of
     the paper plots exactly this breakdown.
+
+    The encoding phase is additionally split into ``translate`` (query
+    predicates into code-space arrays) and ``encode`` (code arrays into the
+    MADE input matrix), with ``encoding == translate + encode`` — the
+    request tracer renders these as separate spans.
     """
 
 
@@ -97,7 +102,15 @@ class DuetEstimator(CardinalityEstimator):
             compiled = self._compiled
         else:
             compiled = CompiledDuetModel(self.model, options)
-        return lambda queries: self._run_batch(list(queries), compiled)
+
+        def runner(queries):
+            return self._run_batch(list(queries), compiled)
+
+        # Expose the plan so callers can reach through for per-stage
+        # profiling (service.enable profiling hooks) without widening the
+        # queries -> (estimates, breakdown) runner contract.
+        runner.compiled = compiled
+        return runner
 
     def tape_batch_runner(self) -> Callable[[Sequence[Query]],
                                             tuple[np.ndarray, EstimationBreakdown]]:
@@ -154,9 +167,11 @@ class DuetEstimator(CardinalityEstimator):
                    ) -> tuple[np.ndarray, EstimationBreakdown]:
         if not queries:
             return (np.zeros(0, dtype=np.float64),
-                    EstimationBreakdown(encoding=0.0, inference=0.0))
+                    EstimationBreakdown(translate=0.0, encode=0.0,
+                                        encoding=0.0, inference=0.0))
         start = time.perf_counter()
         values, ops, masks = self.model.codec.translate_batch(queries)
+        after_translate = time.perf_counter()
         if compiled is not None:
             with compiled.lock:
                 encoded = compiled.encode(values, ops)
@@ -175,6 +190,8 @@ class DuetEstimator(CardinalityEstimator):
         selectivity = np.clip(selectivity, 0.0, 1.0)
         estimates = selectivity * self.table.num_rows
         breakdown = EstimationBreakdown(
+            translate=after_translate - start,
+            encode=after_encoding - after_translate,
             encoding=after_encoding - start,
             inference=after_inference - after_encoding,
         )

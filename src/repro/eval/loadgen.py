@@ -162,7 +162,7 @@ class SoakReport:
 def run_soak(service: EstimationService, workload: Workload, *,
              duration_seconds: float, concurrency: int = 4,
              appends=(), deletes=(), scheduler=None, faults=None,
-             seed: int = 0) -> SoakReport:
+             exporter=None, seed: int = 0) -> SoakReport:
     """Serve continuous traffic while the data mutates underneath.
 
     The lifecycle-aware counterpart of :func:`run_load_test`: worker threads
@@ -184,6 +184,11 @@ def run_soak(service: EstimationService, workload: Workload, *,
     (and disarmed afterwards); its injection counts land in the report's
     ``fault_counts``.  The acceptance signal does not change — injected
     control-plane faults must still never fail an estimate request.
+
+    ``exporter`` (a :class:`~repro.obs.MetricsExporter`) is started just
+    before traffic and stopped — flushing one final snapshot — after the
+    soak, so every soak run leaves a scrape-able metrics timeline (breaker
+    flips, tombstone fraction, request totals) next to its report.
     """
     if duration_seconds <= 0:
         raise ValueError("duration_seconds must be positive")
@@ -231,6 +236,8 @@ def run_soak(service: EstimationService, workload: Workload, *,
 
     threads = [threading.Thread(target=worker, args=(index,), daemon=True)
                for index in range(concurrency)]
+    if exporter is not None:
+        exporter.start()
     started = time.perf_counter()
     for thread in threads:
         thread.start()
@@ -242,6 +249,8 @@ def run_soak(service: EstimationService, workload: Workload, *,
         thread.join(timeout=10.0)
     driver_thread.join(timeout=10.0)
     elapsed = max(time.perf_counter() - started, 1e-9)
+    if exporter is not None:
+        exporter.stop()
     if faults is not None:
         faults.disarm(scheduler=scheduler,
                       registry=getattr(service, "registry", None),

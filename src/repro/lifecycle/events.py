@@ -5,15 +5,25 @@ escalation, retention sweep, failure — is recorded as one immutable
 :class:`LifecycleEvent` in a bounded, thread-safe :class:`EventLog`.  The
 log is the controller's observable surface: tests assert on it, the soak
 report aggregates it, and an operator reads it instead of grepping stdout.
+
+Per-kind lifetime totals are backed by a
+:class:`~repro.obs.MetricsRegistry` counter
+(``repro_lifecycle_events_total{kind=...}``), so the controller's activity
+shows up in the same exposition as the serving metrics; events the bounded
+window silently discarded are themselves counted
+(``repro_lifecycle_events_dropped_total``) — overflow is visible instead of
+silent.
 """
 
 from __future__ import annotations
 
 import threading
 import time
-from collections import Counter, deque
+from collections import deque
 from dataclasses import dataclass, field
 from typing import Iterable
+
+from ..obs import MetricsRegistry
 
 __all__ = ["LifecycleEvent", "EventLog"]
 
@@ -51,23 +61,36 @@ class EventLog:
 
     ``capacity`` bounds memory on a long-running controller: the oldest
     events fall off, but per-kind *counters* are kept forever so totals
-    (how many refreshes ever ran) survive the window.
+    (how many refreshes ever ran) survive the window.  Each fall-off
+    increments :attr:`dropped_events` — a reader that sees it non-zero
+    knows ``events()`` is a suffix of history, not all of it.
     """
 
-    def __init__(self, capacity: int = 1024) -> None:
+    def __init__(self, capacity: int = 1024,
+                 metrics: MetricsRegistry | None = None) -> None:
         if capacity <= 0:
             raise ValueError("event log capacity must be positive")
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
         self._lock = threading.Lock()
         self._events: deque[LifecycleEvent] = deque(maxlen=capacity)
-        self._counts: Counter[str] = Counter()
+        self._counter = self.metrics.counter(
+            "repro_lifecycle_events_total",
+            "Lifecycle controller events ever recorded, by kind.",
+            labels=("kind",))
+        self._dropped = self.metrics.counter(
+            "repro_lifecycle_events_dropped_total",
+            "Events discarded by the bounded log window (overflow).").labels()
 
     # ------------------------------------------------------------------
     def record(self, kind: str, **details) -> LifecycleEvent:
         """Append one event; returns it (handy for chaining into returns)."""
         event = LifecycleEvent(kind=kind, timestamp=time.time(), details=details)
         with self._lock:
+            if len(self._events) == self._events.maxlen:
+                # The append below evicts the oldest retained event.
+                self._dropped.inc()
             self._events.append(event)
-            self._counts[kind] += 1
+            self._counter.inc(kind=kind)
         return event
 
     # ------------------------------------------------------------------
@@ -90,12 +113,16 @@ class EventLog:
 
     def count(self, kind: str) -> int:
         """Total events of ``kind`` ever recorded (not just retained)."""
-        with self._lock:
-            return self._counts[kind]
+        return int(self._counter.value(kind=kind))
 
     def counts(self) -> dict[str, int]:
-        with self._lock:
-            return dict(self._counts)
+        return {labels["kind"]: int(value)
+                for labels, value in self._counter.items() if value}
+
+    @property
+    def dropped_events(self) -> int:
+        """Events the bounded window has discarded so far."""
+        return int(self._dropped.value)
 
     def __len__(self) -> int:
         with self._lock:

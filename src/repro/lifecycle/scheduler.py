@@ -52,6 +52,7 @@ import time
 
 from ..core.config import LifecyclePolicy
 from ..data.store import DomainGrowthError
+from ..obs import MetricsRegistry
 from .coldtrain import ColdTrainResult, start_cold_train
 from .compaction import CompactionPolicy
 from .events import EventLog, LifecycleEvent
@@ -60,6 +61,13 @@ from .retention import RetentionPolicy
 from .shadow import ShadowEvaluator
 
 __all__ = ["RefreshScheduler"]
+
+#: numeric encoding of the circuit-breaker state for the exported gauge
+BREAKER_STATE_LEVELS = {"closed": 0, "half_open": 1, "open": 2}
+
+#: tune/compaction duration buckets (seconds) — training runs, not requests
+TUNE_SECONDS_BUCKETS = (0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 30.0,
+                        60.0, 300.0)
 
 
 class RefreshScheduler:
@@ -70,12 +78,17 @@ class RefreshScheduler:
                  events: EventLog | None = None,
                  retention: RetentionPolicy | None = None,
                  compaction: CompactionPolicy | None = None,
-                 seed: int = 0) -> None:
+                 seed: int = 0,
+                 metrics: MetricsRegistry | None = None) -> None:
         self.service = service
         self.policy = policy or (monitor.policy if monitor is not None
                                  else LifecyclePolicy())
         self.monitor = monitor or DriftMonitor(service, self.policy, seed=seed)
-        self.events = events or EventLog()
+        # Default to the service's registry so serving and lifecycle land in
+        # one exposition; a service without one gets a private registry.
+        self.metrics = (metrics if metrics is not None
+                        else getattr(service, "metrics", None) or MetricsRegistry())
+        self.events = events or EventLog(metrics=self.metrics)
         self.retention = retention or RetentionPolicy(self.policy)
         self.compaction = compaction or CompactionPolicy(self.policy)
         self._thread: threading.Thread | None = None
@@ -96,6 +109,59 @@ class RefreshScheduler:
         self._backoff_until: float | None = None
         self._breaker_state = "closed"  # closed | open | half_open
         self._breaker_opened_at: float | None = None
+        self._register_instruments()
+
+    def _register_instruments(self) -> None:
+        """Register the control plane's metrics (idempotent on a shared registry)."""
+        metrics = self.metrics
+        self._poll_seconds = metrics.histogram(
+            "repro_lifecycle_poll_seconds",
+            "Duration of one scheduler policy evaluation.").labels()
+        self._tune_seconds = metrics.histogram(
+            "repro_lifecycle_tune_seconds",
+            "Duration of tune-path actions, by stage.",
+            labels=("stage",), buckets=TUNE_SECONDS_BUCKETS)
+        self._breaker_gauge = metrics.gauge(
+            "repro_lifecycle_breaker_state",
+            "Circuit breaker over the tune path "
+            "(0=closed, 1=half_open, 2=open).").labels()
+        self._breaker_gauge.set(BREAKER_STATE_LEVELS[self._breaker_state])
+        self._canary_gauge = metrics.gauge(
+            "repro_canary_last_ratio",
+            "Last canary verdict's candidate/incumbent probe median "
+            "Q-Error ratio (<= margin passes; 0 until a canary runs).").labels()
+        metrics.gauge(
+            "repro_store_physical_rows",
+            "Physical rows in the live store (incl. tombstoned).",
+            fn=lambda: self._store_stat("physical_rows"))
+        metrics.gauge(
+            "repro_store_live_rows",
+            "Live (non-tombstoned) rows in the store.",
+            fn=lambda: self._store_stat("num_rows"))
+        metrics.gauge(
+            "repro_store_tombstone_fraction",
+            "Dead-row fraction of the store (compaction trigger input).",
+            fn=lambda: self._store_stat("tombstone_fraction"))
+        metrics.gauge(
+            "repro_store_data_version",
+            "Current data version of the live store.",
+            fn=lambda: self._store_stat("data_version"))
+        metrics.gauge(
+            "repro_registry_model_versions",
+            "Model versions the registry currently retains for this dataset.",
+            fn=self._registry_versions)
+
+    def _store_stat(self, attribute: str) -> float:
+        store = getattr(self.service, "store", None)
+        if store is None:
+            return 0.0
+        return float(getattr(store, attribute))
+
+    def _registry_versions(self) -> float:
+        registry = getattr(self.service, "registry", None)
+        if registry is None:
+            return 0.0
+        return float(len(registry.versions(self.service.dataset)))
 
     # ------------------------------------------------------------------
     # Daemon lifecycle
@@ -141,24 +207,28 @@ class RefreshScheduler:
     # ------------------------------------------------------------------
     def poll_once(self) -> LifecycleEvent:
         """Evaluate the policy once and act on it; returns the decision event."""
-        pending = self._finalise_cold_train()
-        if pending is not None:
-            return pending
-        self._breaker_poll()
-        compacted = self._maybe_compact()
-        if compacted is not None:
-            return compacted
-        decision = self.monitor.decide()
-        action = self._action_for(decision)
-        event = self.events.record(
-            "decision", action=action, reasons=list(decision.reasons),
-            stale_rows=decision.metrics.stale_rows,
-            stale_fraction=round(decision.metrics.stale_fraction, 4),
-            median_qerror=decision.metrics.median_qerror,
-            probe_size=decision.metrics.probe_size)
-        if action == "tune":
-            self._execute(decision)
-        return event
+        poll_started = time.perf_counter()
+        try:
+            pending = self._finalise_cold_train()
+            if pending is not None:
+                return pending
+            self._breaker_poll()
+            compacted = self._maybe_compact()
+            if compacted is not None:
+                return compacted
+            decision = self.monitor.decide()
+            action = self._action_for(decision)
+            event = self.events.record(
+                "decision", action=action, reasons=list(decision.reasons),
+                stale_rows=decision.metrics.stale_rows,
+                stale_fraction=round(decision.metrics.stale_fraction, 4),
+                median_qerror=decision.metrics.median_qerror,
+                probe_size=decision.metrics.probe_size)
+            if action == "tune":
+                self._execute(decision)
+            return event
+        finally:
+            self._poll_seconds.observe(time.perf_counter() - poll_started)
 
     def _action_for(self, decision: RefreshDecision) -> str:
         if not decision:
@@ -199,6 +269,7 @@ class RefreshScheduler:
                 and time.monotonic() - self._breaker_opened_at
                 >= self.policy.breaker_cooldown_seconds):
             self._breaker_state = "half_open"
+            self._breaker_gauge.set(BREAKER_STATE_LEVELS["half_open"])
             self.events.record("breaker", state="half_open",
                                consecutive_failures=self._consecutive_failures)
 
@@ -224,6 +295,7 @@ class RefreshScheduler:
         if opens:
             self._breaker_state = "open"
             self._breaker_opened_at = time.monotonic()
+            self._breaker_gauge.set(BREAKER_STATE_LEVELS["open"])
             self.events.record(
                 "breaker", state="open", stage=stage,
                 consecutive_failures=self._consecutive_failures,
@@ -234,6 +306,7 @@ class RefreshScheduler:
         if self._breaker_state != "closed":
             self._breaker_state = "closed"
             self._breaker_opened_at = None
+            self._breaker_gauge.set(BREAKER_STATE_LEVELS["closed"])
             self.events.record("breaker", state="closed")
         self._consecutive_failures = 0
         self._backoff_until = None
@@ -245,8 +318,8 @@ class RefreshScheduler:
     def _execute(self, decision: RefreshDecision) -> None:
         if not self._tune_lock.acquire(blocking=False):
             return  # another tune is in flight; the next poll re-evaluates
+        started = time.perf_counter()
         try:
-            started = time.perf_counter()
             swaps_before = self.service.snapshot().model_swaps
             rejected: list = []
             try:
@@ -296,6 +369,8 @@ class RefreshScheduler:
             self._after_tune()
             self._note_success()
         finally:
+            self._tune_seconds.observe(time.perf_counter() - started,
+                                       stage="refresh")
             self._consecutive_hits = 0
             self._tune_lock.release()
 
@@ -319,6 +394,7 @@ class RefreshScheduler:
             return None
         if not self._tune_lock.acquire(blocking=False):
             return None
+        compact_started = time.perf_counter()
         try:
             report = self.compaction.compact(self.service)
             event = self.events.record(
@@ -342,6 +418,8 @@ class RefreshScheduler:
             return self.events.record("error", stage="compaction",
                                       error=repr(error))
         finally:
+            self._tune_seconds.observe(time.perf_counter() - compact_started,
+                                       stage="compaction")
             self._tune_lock.release()
 
     def _finalise_cold_train(self) -> LifecycleEvent | None:
@@ -418,6 +496,10 @@ class RefreshScheduler:
                 candidate_median=report.candidate_median,
                 incumbent_median=report.incumbent_median,
                 margin=report.margin, probe_size=report.probe_size)
+            if (report.candidate_median is not None
+                    and report.incumbent_median):
+                self._canary_gauge.set(report.candidate_median
+                                       / report.incumbent_median)
             if not report.passed and rejected is not None:
                 rejected.append(report)
             return report.passed

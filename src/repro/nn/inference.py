@@ -26,6 +26,7 @@ Wrap concurrent use in a lock (see :class:`repro.core.compiled.CompiledDuetModel
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from typing import Sequence
 
@@ -158,6 +159,12 @@ class ForwardPlan:
         self._capacity = 0
         self._buffers: list[np.ndarray] = []
         self._input_buffer: np.ndarray | None = None
+        # Per-stage profiling: cumulative wall time and invocation counts,
+        # populated only while enable_profiling(True) is in effect (the
+        # profiled loop reads the clock twice per stage, so it is opt-in).
+        self._profile = False
+        self.stage_seconds = [0.0] * len(self.stages)
+        self.stage_calls = [0] * len(self.stages)
 
     # ------------------------------------------------------------------
     def reserve(self, batch: int) -> None:
@@ -178,6 +185,38 @@ class ForwardPlan:
         return total
 
     # ------------------------------------------------------------------
+    # Per-stage profiling
+    # ------------------------------------------------------------------
+    @property
+    def profiling(self) -> bool:
+        return self._profile
+
+    def enable_profiling(self, enabled: bool = True) -> None:
+        """Toggle per-stage wall-time/invocation accounting on ``run``."""
+        self._profile = enabled
+
+    def reset_profile(self) -> None:
+        self.stage_seconds = [0.0] * len(self.stages)
+        self.stage_calls = [0] * len(self.stages)
+
+    def profile_report(self) -> list[dict]:
+        """Accumulated per-stage cost, in execution order.
+
+        One entry per :class:`StageSpec`: shape, activation, invocation
+        count, cumulative seconds.  All zeros until profiling is enabled.
+        """
+        return [
+            {"stage": index,
+             "in_features": stage.in_features,
+             "out_features": stage.out_features,
+             "activation": stage.activation,
+             "residual_from": stage.residual_from,
+             "calls": self.stage_calls[index],
+             "seconds": self.stage_seconds[index]}
+            for index, stage in enumerate(self.stages)
+        ]
+
+    # ------------------------------------------------------------------
     def run(self, inputs: np.ndarray) -> np.ndarray:
         """Execute the plan; returns a buffer view valid until the next call."""
         inputs = np.asarray(inputs)
@@ -196,7 +235,10 @@ class ForwardPlan:
         else:
             current = inputs
         outputs: list[np.ndarray] = []
+        profile = self._profile  # hoisted: the off path stays one bool test
         for index, stage in enumerate(self.stages):
+            if profile:
+                stage_started = time.perf_counter()
             out = self._buffers[index][:batch]
             np.dot(current, stage.weight, out=out)
             if stage.bias is not None:
@@ -206,6 +248,9 @@ class ForwardPlan:
                 out += outputs[stage.residual_from]
             outputs.append(out)
             current = out
+            if profile:
+                self.stage_seconds[index] += time.perf_counter() - stage_started
+                self.stage_calls[index] += 1
         return current
 
     __call__ = run

@@ -1,0 +1,44 @@
+"""Unified observability layer: metrics, request tracing, export.
+
+Dependency-free (stdlib-only) substrate the rest of the system reports
+through:
+
+* :class:`MetricsRegistry` — thread-safe labeled counters, gauges and
+  fixed-bucket histograms with Prometheus-style text
+  :meth:`~MetricsRegistry.exposition` and a JSON-safe
+  :meth:`~MetricsRegistry.snapshot`;
+* :class:`Tracer` / :class:`Trace` / :class:`Span` — sampled span trees
+  over the serving hot path, with slowest-N retention;
+* :class:`MetricsExporter` — periodic snapshot-to-JSONL timeline plus
+  on-demand exposition;
+* :func:`parse_exposition` — exposition text back into ``{(name, labels):
+  value}`` (test/scrape helper).
+
+The serving and lifecycle layers register their instruments here (see the
+README's Observability section for the metric catalogue); everything is
+importable without NumPy so telemetry can be consumed anywhere.
+"""
+
+from .exporter import MetricsExporter
+from .metrics import (
+    DEFAULT_LATENCY_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    parse_exposition,
+)
+from .tracing import Span, Trace, Tracer
+
+__all__ = [
+    "MetricsRegistry",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "DEFAULT_LATENCY_BUCKETS",
+    "parse_exposition",
+    "Tracer",
+    "Trace",
+    "Span",
+    "MetricsExporter",
+]

@@ -1,0 +1,126 @@
+"""Metrics exporter: periodic registry snapshots appended to a JSONL file.
+
+One :class:`MetricsExporter` watches one :class:`~repro.obs.MetricsRegistry`
+and appends a timestamped JSON snapshot line every ``interval_seconds`` —
+a scrape-able timeline a soak run (or an operator's ``tail -f``) can read
+back without any metrics backend.  ``stop()`` always writes one final
+snapshot, so even a run shorter than the interval leaves a usable file.
+On-demand Prometheus text exposition is a pass-through to the registry.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from pathlib import Path
+
+from .metrics import MetricsRegistry
+
+__all__ = ["MetricsExporter"]
+
+
+class MetricsExporter:
+    """Background snapshot-to-file loop plus on-demand text exposition."""
+
+    def __init__(self, registry: MetricsRegistry, path,
+                 interval_seconds: float = 5.0) -> None:
+        if interval_seconds <= 0:
+            raise ValueError("interval_seconds must be positive")
+        self.registry = registry
+        self.path = Path(path)
+        self.interval_seconds = interval_seconds
+        self._stop = threading.Event()
+        self._thread: threading.Thread | None = None
+        self._write_lock = threading.Lock()
+        self._snapshots_written = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def running(self) -> bool:
+        return self._thread is not None and self._thread.is_alive()
+
+    @property
+    def snapshots_written(self) -> int:
+        return self._snapshots_written
+
+    def start(self) -> "MetricsExporter":
+        """Start the periodic loop (idempotent); returns ``self``."""
+        if self.running:
+            return self
+        self._stop.clear()
+        self._thread = threading.Thread(target=self._loop, daemon=True,
+                                        name="repro-metrics-exporter")
+        self._thread.start()
+        return self
+
+    def stop(self, final_snapshot: bool = True) -> None:
+        """Stop the loop; by default flush one last snapshot line."""
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join(timeout=10.0)
+            self._thread = None
+        if final_snapshot:
+            self.write_snapshot()
+
+    def __enter__(self) -> "MetricsExporter":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    def _loop(self) -> None:
+        while not self._stop.wait(self.interval_seconds):
+            try:
+                self.write_snapshot()
+            except Exception:  # noqa: BLE001 — a full disk must not kill
+                pass           # the owning process; the next tick retries
+
+    # ------------------------------------------------------------------
+    def write_snapshot(self) -> dict:
+        """Append one ``{"t": ..., "metrics": ...}`` line; returns it."""
+        record = {"t": time.time(), "metrics": self.registry.snapshot()}
+        line = json.dumps(record, separators=(",", ":"))
+        with self._write_lock:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            with self.path.open("a", encoding="utf-8") as sink:
+                sink.write(line + "\n")
+            self._snapshots_written += 1
+        return record
+
+    def exposition(self) -> str:
+        """Current Prometheus text exposition of the watched registry."""
+        return self.registry.exposition()
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def read_timeline(path) -> list[dict]:
+        """Parse a snapshot file back into its list of records."""
+        records = []
+        with Path(path).open(encoding="utf-8") as source:
+            for line in source:
+                line = line.strip()
+                if line:
+                    records.append(json.loads(line))
+        return records
+
+    @staticmethod
+    def series(records: list[dict], metric: str,
+               labels: dict | None = None) -> list[tuple[float, float]]:
+        """Extract one metric's ``(timestamp, value)`` series from records.
+
+        For plain counters/gauges only (histograms carry structured
+        samples); ``labels`` selects one labeled child (``None`` matches
+        the unlabeled sample).  Timestamps are the snapshot times.
+        """
+        wanted = labels or {}
+        points: list[tuple[float, float]] = []
+        for record in records:
+            entry = record.get("metrics", {}).get(metric)
+            if entry is None:
+                continue
+            for sample in entry.get("samples", ()):
+                if sample.get("labels", {}) == wanted and "value" in sample:
+                    points.append((record["t"], sample["value"]))
+                    break
+        return points

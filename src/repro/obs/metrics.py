@@ -1,0 +1,492 @@
+"""Metrics substrate: a thread-safe registry of labeled instruments.
+
+Every subsystem that counts something — serving, lifecycle control, the
+data store — registers its counters, gauges and histograms in one
+:class:`MetricsRegistry` and the registry is the *single* observable
+surface: a Prometheus-style text :meth:`~MetricsRegistry.exposition` for
+scrapers and a JSON-safe :meth:`~MetricsRegistry.snapshot` for the
+periodic file exporter.  The registry is dependency-free (stdlib only) and
+instruments are cheap enough for request hot paths: one small lock per
+instrument, no allocation on the increment path once a labeled child is
+bound.
+
+Naming follows the Prometheus conventions: ``repro_`` prefix, base units
+in the name (``_seconds``, ``_rows``), counters end in ``_total``::
+
+    registry = MetricsRegistry()
+    requests = registry.counter("repro_requests_total",
+                                "Requests served.", labels=("cache",))
+    hits = requests.labels(cache="hit")     # bind once, inc forever
+    hits.inc()
+
+    latency = registry.histogram("repro_request_latency_seconds",
+                                 "Request latency.")
+    latency.observe(0.0021)
+
+    print(registry.exposition())            # text format
+    registry.snapshot()                     # nested JSON-safe dict
+"""
+
+from __future__ import annotations
+
+import math
+import re
+import threading
+from bisect import bisect_left
+from typing import Callable, Iterable, Sequence
+
+__all__ = [
+    "MetricsRegistry",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "parse_exposition",
+    "DEFAULT_LATENCY_BUCKETS",
+]
+
+_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_LABEL_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+
+#: default histogram buckets, tuned for request/tune latencies (seconds)
+DEFAULT_LATENCY_BUCKETS = (0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025,
+                           0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 10.0)
+
+
+def _validate_name(name: str) -> str:
+    if not _NAME_RE.match(name):
+        raise ValueError(f"invalid metric name {name!r}")
+    return name
+
+
+def _validate_labels(label_names: Sequence[str]) -> tuple[str, ...]:
+    names = tuple(label_names)
+    for label in names:
+        if not _LABEL_RE.match(label):
+            raise ValueError(f"invalid label name {label!r}")
+    if len(set(names)) != len(names):
+        raise ValueError(f"duplicate label names in {names!r}")
+    return names
+
+
+def _escape_label_value(value: str) -> str:
+    return (value.replace("\\", r"\\").replace("\n", r"\n")
+            .replace('"', r'\"'))
+
+
+def _format_value(value: float) -> str:
+    """Shortest round-tripping representation (text == JSON parity)."""
+    if math.isnan(value):
+        return "NaN"
+    if math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    return repr(float(value))
+
+
+def _format_le(bound: float) -> str:
+    return "+Inf" if math.isinf(bound) else _format_value(bound)
+
+
+class _Instrument:
+    """Shared plumbing: one lock, labeled children keyed by value tuples."""
+
+    kind = "untyped"
+
+    def __init__(self, name: str, help: str = "",
+                 label_names: Sequence[str] = ()) -> None:
+        self.name = _validate_name(name)
+        self.help = help
+        self.label_names = _validate_labels(label_names)
+        self._lock = threading.Lock()
+        self._children: dict[tuple, object] = {}
+
+    def _child_key(self, labels: dict) -> tuple:
+        if tuple(sorted(labels)) != tuple(sorted(self.label_names)):
+            raise ValueError(
+                f"{self.name} expects labels {self.label_names}, "
+                f"got {tuple(sorted(labels))}")
+        return tuple(str(labels[name]) for name in self.label_names)
+
+    def labels(self, **labels):
+        """The child bound to these label values (created on first use)."""
+        key = self._child_key(labels)
+        with self._lock:
+            child = self._children.get(key)
+            if child is None:
+                child = self._make_child()
+                self._children[key] = child
+            return child
+
+    def _make_child(self):  # pragma: no cover - overridden
+        raise NotImplementedError
+
+    def _reset(self) -> None:
+        """Zero every child *in place* (bound children stay valid).
+
+        Internal: :meth:`repro.serving.ServiceStats.reset` restarts its
+        measurement window through this; ordinary consumers never reset
+        (counters are monotonic by contract).
+        """
+        with self._lock:
+            for child in self._children.values():
+                child._zero()
+
+    # -- collection -----------------------------------------------------
+    def _collect(self) -> list[tuple[dict, object]]:
+        """``(labels_dict, child_state)`` pairs, consistent under the lock."""
+        with self._lock:
+            items = list(self._children.items())
+        return [(dict(zip(self.label_names, key)), child)
+                for key, child in items]
+
+
+class _CounterCell:
+    __slots__ = ("_lock", "_value")
+
+    def __init__(self, lock: threading.Lock) -> None:
+        self._lock = lock
+        self._value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError("counters only go up")
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> float:
+        with self._lock:
+            return self._value
+
+    def _zero(self) -> None:
+        self._value = 0.0  # caller holds the instrument lock
+
+
+class Counter(_Instrument):
+    """Monotonically increasing count, optionally split by labels."""
+
+    kind = "counter"
+
+    def _make_child(self) -> _CounterCell:
+        return _CounterCell(self._lock)
+
+    def inc(self, amount: float = 1.0, **labels) -> None:
+        self.labels(**labels).inc(amount)
+
+    def value(self, **labels) -> float:
+        """Current count for one label combination (0 if never touched)."""
+        key = self._child_key(labels)
+        with self._lock:
+            child = self._children.get(key)
+            return child._value if child is not None else 0.0
+
+    def total(self) -> float:
+        """Sum over every label combination."""
+        with self._lock:
+            return sum(child._value for child in self._children.values())
+
+    def items(self) -> list[tuple[dict, float]]:
+        return [(labels, cell._value) for labels, cell in self._collect()]
+
+
+class _GaugeCell:
+    __slots__ = ("_lock", "_value", "_fn")
+
+    def __init__(self, lock: threading.Lock) -> None:
+        self._lock = lock
+        self._value = 0.0
+        self._fn: Callable[[], float] | None = None
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self._fn = None
+            self._value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        with self._lock:
+            self._value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.inc(-amount)
+
+    def set_function(self, fn: Callable[[], float]) -> None:
+        """Collect-time callback; errors during collection read as NaN."""
+        with self._lock:
+            self._fn = fn
+
+    @property
+    def value(self) -> float:
+        with self._lock:
+            fn = self._fn
+            if fn is None:
+                return self._value
+        try:
+            return float(fn())
+        except Exception:  # noqa: BLE001 — collection must never raise
+            return math.nan
+
+    def _zero(self) -> None:
+        if self._fn is None:  # caller holds the instrument lock
+            self._value = 0.0
+
+
+class Gauge(_Instrument):
+    """A value that can go up and down, or be computed at collection time."""
+
+    kind = "gauge"
+
+    def _make_child(self) -> _GaugeCell:
+        return _GaugeCell(self._lock)
+
+    def set(self, value: float, **labels) -> None:
+        self.labels(**labels).set(value)
+
+    def inc(self, amount: float = 1.0, **labels) -> None:
+        self.labels(**labels).inc(amount)
+
+    def dec(self, amount: float = 1.0, **labels) -> None:
+        self.labels(**labels).dec(amount)
+
+    def set_function(self, fn: Callable[[], float], **labels) -> None:
+        self.labels(**labels).set_function(fn)
+
+    def value(self, **labels):
+        return self.labels(**labels).value
+
+    def items(self) -> list[tuple[dict, float]]:
+        return [(labels, cell.value) for labels, cell in self._collect()]
+
+
+class _HistogramCell:
+    __slots__ = ("_lock", "_bounds", "_counts", "_sum", "_count")
+
+    def __init__(self, lock: threading.Lock, bounds: tuple[float, ...]) -> None:
+        self._lock = lock
+        self._bounds = bounds
+        self._counts = [0] * (len(bounds) + 1)  # last slot: +Inf overflow
+        self._sum = 0.0
+        self._count = 0
+
+    def observe(self, value: float) -> None:
+        index = bisect_left(self._bounds, value)
+        with self._lock:
+            self._counts[index] += 1
+            self._sum += value
+            self._count += 1
+
+    def state(self) -> tuple[list[int], float, int]:
+        with self._lock:
+            return list(self._counts), self._sum, self._count
+
+    def _zero(self) -> None:
+        self._counts = [0] * len(self._counts)  # caller holds the lock
+        self._sum = 0.0
+        self._count = 0
+
+
+class Histogram(_Instrument):
+    """Fixed-bucket distribution: per-bucket counts plus sum and count."""
+
+    kind = "histogram"
+
+    def __init__(self, name: str, help: str = "",
+                 label_names: Sequence[str] = (),
+                 buckets: Sequence[float] = DEFAULT_LATENCY_BUCKETS) -> None:
+        super().__init__(name, help, label_names)
+        bounds = tuple(float(bound) for bound in buckets)
+        if not bounds:
+            raise ValueError("a histogram needs at least one bucket")
+        if any(b2 <= b1 for b1, b2 in zip(bounds, bounds[1:])):
+            raise ValueError("histogram buckets must be strictly increasing")
+        self.buckets = bounds
+
+    def _make_child(self) -> _HistogramCell:
+        return _HistogramCell(self._lock, self.buckets)
+
+    def observe(self, value: float, **labels) -> None:
+        self.labels(**labels).observe(value)
+
+    def items(self) -> list[tuple[dict, tuple[list[int], float, int]]]:
+        return [(labels, cell.state()) for labels, cell in self._collect()]
+
+
+class MetricsRegistry:
+    """Thread-safe get-or-create home of every instrument.
+
+    Re-registering a name returns the existing instrument when kind and
+    labels match (so independent components can share one metric) and
+    raises when they conflict (two meanings under one name is a telemetry
+    bug worth failing loudly on).
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._metrics: dict[str, _Instrument] = {}
+
+    # ------------------------------------------------------------------
+    def _get_or_create(self, cls, name: str, help: str,
+                       labels: Sequence[str], **extra) -> _Instrument:
+        label_names = _validate_labels(labels)
+        with self._lock:
+            existing = self._metrics.get(name)
+            if existing is not None:
+                if not isinstance(existing, cls) or type(existing) is not cls:
+                    raise ValueError(
+                        f"metric {name!r} already registered as "
+                        f"{existing.kind}, cannot re-register as {cls.kind}")
+                if existing.label_names != label_names:
+                    raise ValueError(
+                        f"metric {name!r} already registered with labels "
+                        f"{existing.label_names}, got {label_names}")
+                if (isinstance(existing, Histogram) and "buckets" in extra
+                        and tuple(float(b) for b in extra["buckets"])
+                        != existing.buckets):
+                    raise ValueError(
+                        f"metric {name!r} already registered with different "
+                        f"buckets")
+                return existing
+            metric = cls(name, help, label_names, **extra)
+            self._metrics[name] = metric
+            return metric
+
+    def counter(self, name: str, help: str = "",
+                labels: Sequence[str] = ()) -> Counter:
+        return self._get_or_create(Counter, name, help, labels)
+
+    def gauge(self, name: str, help: str = "", labels: Sequence[str] = (),
+              fn: Callable[[], float] | None = None) -> Gauge:
+        gauge = self._get_or_create(Gauge, name, help, labels)
+        if fn is not None:
+            if labels:
+                raise ValueError("fn= shorthand only works on unlabeled "
+                                 "gauges; use set_function(fn, **labels)")
+            gauge.set_function(fn)
+        return gauge
+
+    def histogram(self, name: str, help: str = "",
+                  labels: Sequence[str] = (),
+                  buckets: Sequence[float] = DEFAULT_LATENCY_BUCKETS
+                  ) -> Histogram:
+        return self._get_or_create(Histogram, name, help, labels,
+                                   buckets=buckets)
+
+    # ------------------------------------------------------------------
+    def metrics(self) -> list[_Instrument]:
+        with self._lock:
+            return list(self._metrics.values())
+
+    def get(self, name: str) -> _Instrument | None:
+        with self._lock:
+            return self._metrics.get(name)
+
+    def __contains__(self, name: str) -> bool:
+        return self.get(name) is not None
+
+    # ------------------------------------------------------------------
+    # Collection
+    # ------------------------------------------------------------------
+    def snapshot(self) -> dict:
+        """JSON-safe dump: every instrument's current samples.
+
+        Histograms report *cumulative* bucket counts (Prometheus ``le``
+        semantics) as ``[upper_bound, count]`` pairs ending in ``"+Inf"``,
+        so the JSON dump and the text exposition carry identical numbers.
+        """
+        dump: dict = {}
+        for metric in self.metrics():
+            samples: list[dict] = []
+            if isinstance(metric, Histogram):
+                for labels, (counts, total, count) in metric.items():
+                    cumulative, running = [], 0
+                    for bound, bucket in zip(metric.buckets, counts):
+                        running += bucket
+                        cumulative.append([bound, running])
+                    cumulative.append(["+Inf", running + counts[-1]])
+                    samples.append({"labels": labels, "buckets": cumulative,
+                                    "sum": total, "count": count})
+            else:
+                for labels, value in metric.items():
+                    samples.append({"labels": labels, "value": value})
+            dump[metric.name] = {"type": metric.kind, "help": metric.help,
+                                 "samples": samples}
+        return dump
+
+    def exposition(self) -> str:
+        """Prometheus text exposition format (version 0.0.4)."""
+        lines: list[str] = []
+        for metric in self.metrics():
+            if metric.help:
+                lines.append(f"# HELP {metric.name} {metric.help}")
+            lines.append(f"# TYPE {metric.name} {metric.kind}")
+            if isinstance(metric, Histogram):
+                for labels, (counts, total, count) in metric.items():
+                    running = 0
+                    for bound, bucket in zip(metric.buckets, counts):
+                        running += bucket
+                        lines.append(_sample_line(
+                            f"{metric.name}_bucket",
+                            {**labels, "le": _format_le(bound)}, running))
+                    lines.append(_sample_line(
+                        f"{metric.name}_bucket",
+                        {**labels, "le": "+Inf"}, running + counts[-1]))
+                    lines.append(_sample_line(f"{metric.name}_sum", labels,
+                                              total))
+                    lines.append(_sample_line(f"{metric.name}_count", labels,
+                                              count))
+            else:
+                for labels, value in metric.items():
+                    lines.append(_sample_line(metric.name, labels, value))
+        return "\n".join(lines) + ("\n" if lines else "")
+
+
+def _sample_line(name: str, labels: dict, value: float) -> str:
+    if labels:
+        rendered = ",".join(
+            f'{key}="{_escape_label_value(str(val))}"'
+            for key, val in sorted(labels.items()))
+        return f"{name}{{{rendered}}} {_format_value(float(value))}"
+    return f"{name} {_format_value(float(value))}"
+
+
+_SAMPLE_RE = re.compile(
+    r"^([a-zA-Z_:][a-zA-Z0-9_:]*)(?:\{(.*)\})?\s+(\S+)$")
+_LABEL_PAIR_RE = re.compile(r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"')
+
+
+def _unescape_label_value(value: str) -> str:
+    return (value.replace(r'\"', '"').replace(r"\n", "\n")
+            .replace(r"\\", "\\"))
+
+
+def parse_exposition(text: str | Iterable[str]
+                     ) -> dict[tuple[str, tuple[tuple[str, str], ...]], float]:
+    """Parse exposition text back into ``{(name, labels): value}``.
+
+    ``labels`` is a sorted tuple of ``(key, value)`` pairs.  Histogram
+    series appear under their ``_bucket``/``_sum``/``_count`` sample names.
+    Used by tests to assert text/JSON parity, and handy for scraping the
+    exporter output without a Prometheus client.
+    """
+    lines = text.splitlines() if isinstance(text, str) else text
+    samples: dict[tuple[str, tuple[tuple[str, str], ...]], float] = {}
+    for line in lines:
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        match = _SAMPLE_RE.match(line)
+        if match is None:
+            raise ValueError(f"unparseable exposition line: {line!r}")
+        name, raw_labels, raw_value = match.groups()
+        labels: list[tuple[str, str]] = []
+        if raw_labels:
+            consumed = 0
+            for pair in _LABEL_PAIR_RE.finditer(raw_labels):
+                labels.append((pair.group(1),
+                               _unescape_label_value(pair.group(2))))
+                consumed = pair.end()
+            leftover = raw_labels[consumed:].strip(", ")
+            if leftover:
+                raise ValueError(f"unparseable labels in line: {line!r}")
+        value = float("inf") if raw_value == "+Inf" else (
+            float("-inf") if raw_value == "-Inf" else float(raw_value))
+        samples[(name, tuple(sorted(labels)))] = value
+    return samples

@@ -43,10 +43,11 @@ class BatcherStats:
 
 
 class _Request:
-    __slots__ = ("query", "future")
+    __slots__ = ("query", "future", "on_batch")
 
-    def __init__(self, query: Query) -> None:
+    def __init__(self, query: Query, on_batch=None) -> None:
         self.query = query
+        self.on_batch = on_batch
         self.future: "Future[float]" = Future()
 
 
@@ -54,8 +55,11 @@ class MicroBatcher:
     """Coalesces single-query requests into batched ``runner`` calls.
 
     ``runner`` receives a list of queries and must return one estimate per
-    query (anything :func:`numpy.asarray` accepts).  Exceptions raised by
-    the runner propagate to every future of the affected batch.
+    query (anything :func:`numpy.asarray` accepts).  It may instead return
+    an ``(estimates, extra)`` tuple; the ``extra`` payload (the serving
+    runner's per-stage timing breakdown) is handed to each request's
+    ``on_batch`` callback.  Exceptions raised by the runner propagate to
+    every future of the affected batch.
     """
 
     def __init__(self, runner: Callable[[Sequence[Query]], np.ndarray],
@@ -81,9 +85,17 @@ class MicroBatcher:
         self._thread.start()
 
     # ------------------------------------------------------------------
-    def submit(self, query: Query) -> "Future[float]":
-        """Enqueue one query; the future resolves to its estimate."""
-        request = _Request(query)
+    def submit(self, query: Query, on_batch=None) -> "Future[float]":
+        """Enqueue one query; the future resolves to its estimate.
+
+        ``on_batch(extra, batch_size)`` — when given — is invoked on the
+        scheduler thread after the forward pass that served this request,
+        strictly before the future resolves; the tracer attaches the pass's
+        stage breakdown to a sampled request through it.  Callbacks must be
+        cheap and must not raise (exceptions are swallowed: telemetry never
+        fails serving).
+        """
+        request = _Request(query, on_batch)
         with self._lifecycle:
             if self._closed:
                 raise RuntimeError("cannot submit to a closed MicroBatcher")
@@ -146,7 +158,11 @@ class MicroBatcher:
     def _run_batch(self, batch: list[_Request]) -> None:
         queries = [request.query for request in batch]
         try:
-            estimates = np.asarray(self._runner(queries), dtype=np.float64)
+            result = self._runner(queries)
+            extra = None
+            if isinstance(result, tuple):
+                result, extra = result
+            estimates = np.asarray(result, dtype=np.float64)
             if estimates.shape != (len(batch),):
                 raise ValueError(
                     f"runner returned shape {estimates.shape} for a batch of {len(batch)}")
@@ -159,4 +175,9 @@ class MicroBatcher:
             self._num_requests += len(batch)
             self._largest_batch = max(self._largest_batch, len(batch))
         for request, estimate in zip(batch, estimates):
+            if request.on_batch is not None:
+                try:
+                    request.on_batch(extra, len(batch))
+                except Exception:  # noqa: BLE001 — telemetry never fails serving
+                    pass
             request.future.set_result(float(estimate))

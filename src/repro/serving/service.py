@@ -38,6 +38,7 @@ from ..core.interface import CardinalityEstimator
 from ..core.trainer import DuetTrainer
 from ..data.store import ColumnStore
 from ..nn import PlanOptions
+from ..obs import MetricsRegistry, Trace, Tracer
 from ..workload.query import Query
 from .batcher import BatcherStats, MicroBatcher
 from .cache import EstimateCache, QueryKeyEncoder
@@ -55,7 +56,8 @@ class EstimationService:
                  *,
                  store: ColumnStore | None = None,
                  registry: ModelRegistry | None = None,
-                 dataset: str | None = None) -> None:
+                 dataset: str | None = None,
+                 metrics: MetricsRegistry | None = None) -> None:
         self.estimator = estimator
         self.config = config or ServingConfig()
         # Data lifecycle wiring: the live store (for staleness/refresh), the
@@ -72,7 +74,25 @@ class EstimationService:
             self.data_version = getattr(estimator.table, "data_version", None)
         self._keys = QueryKeyEncoder(estimator.table, namespace=self._namespace())
         self.cache = EstimateCache(self.config.cache_capacity)
-        self.stats = ServiceStats(latency_window=self.config.latency_window)
+        #: one registry per service unless the caller passes a shared one
+        #: (the lifecycle scheduler shares it, so serving and lifecycle
+        #: metrics land in one exposition)
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.stats = ServiceStats(latency_window=self.config.latency_window,
+                                  metrics=self.metrics)
+        obs = self.config.obs
+        #: span sampler; ``trace_sample_rate == 0`` keeps the request path
+        #: allocation-free (raise ``tracer.sample_rate`` at runtime to dial
+        #: tracing up on a live service)
+        self.tracer = Tracer(sample_rate=obs.trace_sample_rate,
+                             keep_slowest=obs.trace_keep_slowest)
+        self.metrics.gauge("repro_cache_entries",
+                           "Live entries of the estimate LRU cache.",
+                           fn=lambda: len(self.cache))
+        self.metrics.gauge("repro_plan_buffer_bytes",
+                           "Reusable buffer footprint of the serving plan "
+                           "(0 when uncompiled).",
+                           fn=self._plan_buffer_bytes)
         self._timed_runner = self._build_runner()
         self._refresh_lock = threading.Lock()
         self._observers: tuple = ()
@@ -109,12 +129,30 @@ class EstimationService:
                     # let the runner share the estimator's existing plan.
                     persisted = getattr(estimator, "compile_options", None)
                     dtype = persisted.dtype if persisted is not None else "float64"
-                return factory(PlanOptions(dtype=dtype))
+                runner = factory(PlanOptions(dtype=dtype))
+                if self.config.obs.profile_plan_stages:
+                    compiled = getattr(runner, "compiled", None)
+                    if compiled is not None:
+                        compiled.enable_profiling(True)
+                return runner
         else:
             tape_factory = getattr(estimator, "tape_batch_runner", None)
             if tape_factory is not None:
                 return tape_factory()
         return estimator.estimate_batch_timed
+
+    def _plan_buffer_bytes(self) -> int:
+        compiled = getattr(self._timed_runner, "compiled", None)
+        return compiled.buffer_bytes if compiled is not None else 0
+
+    def profile_report(self) -> dict | None:
+        """Per-stage attribution of the serving plan's time.
+
+        ``None`` when the service runs uncompiled; all-zero counters until
+        ``ObsConfig.profile_plan_stages`` enables the hooks.
+        """
+        compiled = getattr(self._timed_runner, "compiled", None)
+        return compiled.profile_report() if compiled is not None else None
 
     @classmethod
     def from_registry(cls, registry: ModelRegistry | str, dataset: str,
@@ -166,6 +204,8 @@ class EstimationService:
     def estimate(self, query: Query) -> float:
         """Answer one query: cache, then (micro-batched) forward pass."""
         started = time.perf_counter()
+        # With sampling at 0 this is one attribute read and one compare.
+        trace: Trace | None = self.tracer.maybe_trace(detail=query)
         if self._observers:
             self._notify_observers(query)
         # Capture the key encoder once: a concurrent hot-swap replaces
@@ -178,14 +218,33 @@ class EstimationService:
             cached = self.cache.get(key)
             if cached is not None:
                 self.stats.record_request(time.perf_counter() - started, cache_hit=True)
+                if trace is not None:
+                    trace.add("cache_lookup", trace.elapsed())
+                    trace.finish(cache_hit=True)
                 return cached
+        if trace is not None:
+            # Key encoding + the missed probe, measured from the trace start.
+            trace.add("cache_lookup", trace.elapsed())
         if self._batcher is not None:
-            estimate = self._batcher.submit(query).result()
+            if trace is not None:
+                batch_started = time.perf_counter()
+                estimate = self._batcher.submit(
+                    query, on_batch=trace.attach_breakdown).result()
+                trace.add_batch_span(time.perf_counter() - batch_started)
+            else:
+                estimate = self._batcher.submit(query).result()
         else:
-            estimate = float(np.asarray(self._run_batch([query]))[0])
+            batch_started = time.perf_counter()
+            estimates, breakdown = self._run_batch([query])
+            estimate = float(np.asarray(estimates)[0])
+            if trace is not None:
+                trace.attach_breakdown(breakdown, 1)
+                trace.add_batch_span(time.perf_counter() - batch_started)
         if key is not None and self._keys is keys:
             self.cache.put(key, estimate)
         self.stats.record_request(time.perf_counter() - started, cache_hit=False)
+        if trace is not None:
+            trace.finish(cache_hit=False)
         return estimate
 
     def estimate_batch(self, queries: Sequence[Query]) -> np.ndarray:
@@ -212,8 +271,9 @@ class EstimationService:
             else:
                 estimates[index] = cached
         if missing:
-            computed = np.asarray(self._run_batch([queries[index] for index in missing]),
-                                  dtype=np.float64)
+            estimates_missing, _ = self._run_batch(
+                [queries[index] for index in missing])
+            computed = np.asarray(estimates_missing, dtype=np.float64)
             for position, index in enumerate(missing):
                 estimates[index] = computed[position]
                 if keys[index] is not None and self._keys is encoder:
@@ -236,10 +296,15 @@ class EstimationService:
         estimates, _ = self._timed_runner(list(queries))
         return np.asarray(estimates, dtype=np.float64)
 
-    def _run_batch(self, queries: Sequence[Query]) -> np.ndarray:
-        estimates, _ = self._timed_runner(queries)
+    def _run_batch(self, queries: Sequence[Query]):
+        """One forward pass; returns ``(estimates, breakdown)``.
+
+        The breakdown rides through the micro-batcher's ``extra`` channel to
+        traced requests (see :meth:`MicroBatcher.submit`).
+        """
+        estimates, breakdown = self._timed_runner(queries)
         self.stats.record_batch(len(queries))
-        return estimates
+        return estimates, breakdown
 
     # ------------------------------------------------------------------
     # Data lifecycle: staleness and refresh

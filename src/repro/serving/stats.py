@@ -2,21 +2,29 @@
 occupancy counters.
 
 Every ``estimate()`` call records one latency sample plus whether it was a
-cache hit; the batch runner records the size of every forward pass.  A
-:meth:`ServiceStats.snapshot` is cheap and consistent (taken under the same
-lock the recorders use) and renders as one row of the serving report table.
+cache hit; the batch runner records the size of every forward pass.  The
+counters live in a :class:`~repro.obs.MetricsRegistry` (the service's one
+observable surface — text exposition, JSON snapshots, the file exporter all
+read the same cells), while exact percentiles come from a fixed-size NumPy
+ring buffer of the most recent latencies.  :meth:`ServiceStats.snapshot`
+copies the ring under the lock (one ``memcpy``) and computes percentiles
+*outside* it, so a snapshot never stalls concurrent recorders the way the
+old copy-the-whole-deque-under-lock implementation did.
 """
 
 from __future__ import annotations
 
-import threading
 import time
-from collections import deque
 from dataclasses import dataclass
 
 import numpy as np
 
+from ..obs import DEFAULT_LATENCY_BUCKETS, MetricsRegistry
+
 __all__ = ["ServiceStats", "StatsSnapshot"]
+
+#: batch occupancy buckets: powers of two up to the common max batch sizes
+BATCH_SIZE_BUCKETS = (1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 256.0)
 
 
 @dataclass(frozen=True)
@@ -51,80 +59,146 @@ class StatsSnapshot:
                 f"batch_occupancy={self.mean_batch_size:.1f}")
 
 
-class ServiceStats:
-    """Accumulates request/batch observations from concurrent threads."""
+class _LatencyRing:
+    """Fixed-capacity ring of the most recent latency samples (seconds).
 
-    def __init__(self, latency_window: int = 65536) -> None:
+    ``append`` is two array writes under the caller's lock; ``copy`` hands
+    back a dense snapshot of the filled region so percentile math runs on a
+    private array, outside any lock.
+    """
+
+    __slots__ = ("_samples", "_position", "_filled")
+
+    def __init__(self, capacity: int) -> None:
+        self._samples = np.zeros(capacity, dtype=np.float64)
+        self._position = 0
+        self._filled = 0
+
+    def append(self, value: float) -> None:
+        samples = self._samples
+        samples[self._position] = value
+        self._position = (self._position + 1) % samples.shape[0]
+        if self._filled < samples.shape[0]:
+            self._filled += 1
+
+    def copy(self) -> np.ndarray:
+        return self._samples[:self._filled].copy()
+
+    def clear(self) -> None:
+        self._position = 0
+        self._filled = 0
+
+
+class ServiceStats:
+    """Accumulates request/batch observations from concurrent threads.
+
+    All counters are registry instruments (shared with whatever lifecycle
+    controller or exporter watches the same :class:`MetricsRegistry`);
+    the ring buffer backing the percentiles is the only private state.
+    The public recording/snapshot API is unchanged from the pre-registry
+    implementation.
+    """
+
+    def __init__(self, latency_window: int = 65536,
+                 metrics: MetricsRegistry | None = None) -> None:
         if latency_window <= 0:
             raise ValueError("latency_window must be positive")
-        self._lock = threading.Lock()
-        self._latencies: deque[float] = deque(maxlen=latency_window)
-        self._requests = 0
-        self._cache_hits = 0
-        self._cache_misses = 0
-        self._num_batches = 0
-        self._batched_requests = 0
-        self._model_swaps = 0
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        requests = self.metrics.counter(
+            "repro_requests_total",
+            "Requests served, split by estimate-cache outcome.",
+            labels=("cache",))
+        # Bind label cells once; the increment path is then one small lock.
+        self._hits_cell = requests.labels(cache="hit")
+        self._misses_cell = requests.labels(cache="miss")
+        self._latency = self.metrics.histogram(
+            "repro_request_latency_seconds",
+            "End-to-end estimate() latency.",
+            buckets=DEFAULT_LATENCY_BUCKETS).labels()
+        self._batches = self.metrics.counter(
+            "repro_batches_total", "Forward passes run.").labels()
+        self._batched = self.metrics.counter(
+            "repro_batched_requests_total",
+            "Requests served through forward passes (batch occupancy "
+            "numerator).").labels()
+        self._batch_size = self.metrics.histogram(
+            "repro_batch_size", "Micro-batch occupancy per forward pass.",
+            buckets=BATCH_SIZE_BUCKETS).labels()
+        self._swaps = self.metrics.counter(
+            "repro_model_swaps_total",
+            "Hot-swaps of the served model (refreshes + cold trains).").labels()
+        self._ring = _LatencyRing(latency_window)
+        # The histogram cell's lock doubles as the ring/clock guard: one
+        # lock acquisition covers both the bucket update and the ring write.
+        self._lock = self._latency._lock
         self._started = time.perf_counter()
 
     # ------------------------------------------------------------------
     def record_request(self, latency_seconds: float, cache_hit: bool) -> None:
+        if cache_hit:
+            self._hits_cell.inc()
+        else:
+            self._misses_cell.inc()
+        self._latency.observe(latency_seconds)
         with self._lock:
-            self._requests += 1
-            self._latencies.append(latency_seconds)
-            if cache_hit:
-                self._cache_hits += 1
-            else:
-                self._cache_misses += 1
+            self._ring.append(latency_seconds)
 
     def record_batch(self, batch_size: int) -> None:
-        with self._lock:
-            self._num_batches += 1
-            self._batched_requests += batch_size
+        self._batches.inc()
+        self._batched.inc(batch_size)
+        self._batch_size.observe(batch_size)
 
     def record_swap(self) -> None:
         """Count one hot-swap of the served model."""
-        with self._lock:
-            self._model_swaps += 1
+        self._swaps.inc()
 
     def reset(self) -> None:
-        """Zero every counter and restart the QPS clock."""
+        """Zero every counter and restart the QPS clock.
+
+        Registry cells are zeroed *in place*, so instruments bound by other
+        components (exporter, scheduler) stay valid.
+        """
+        for name in ("repro_requests_total", "repro_request_latency_seconds",
+                     "repro_batches_total", "repro_batched_requests_total",
+                     "repro_batch_size", "repro_model_swaps_total"):
+            self.metrics.get(name)._reset()
         with self._lock:
-            self._latencies.clear()
-            self._requests = 0
-            self._cache_hits = 0
-            self._cache_misses = 0
-            self._num_batches = 0
-            self._batched_requests = 0
-            self._model_swaps = 0
+            self._ring.clear()
             self._started = time.perf_counter()
 
     # ------------------------------------------------------------------
     def snapshot(self) -> StatsSnapshot:
         with self._lock:
             elapsed = max(time.perf_counter() - self._started, 1e-9)
-            latencies_ms = 1e3 * np.asarray(self._latencies, dtype=np.float64)
-            if latencies_ms.size:
-                mean_ms = float(latencies_ms.mean())
-                p50_ms, p90_ms, p99_ms = (
-                    float(value) for value in np.percentile(latencies_ms, [50, 90, 99]))
-            else:
-                mean_ms = p50_ms = p90_ms = p99_ms = 0.0
-            lookups = self._cache_hits + self._cache_misses
-            return StatsSnapshot(
-                requests=self._requests,
-                elapsed_seconds=elapsed,
-                qps=self._requests / elapsed,
-                mean_ms=mean_ms,
-                p50_ms=p50_ms,
-                p90_ms=p90_ms,
-                p99_ms=p99_ms,
-                cache_hits=self._cache_hits,
-                cache_misses=self._cache_misses,
-                cache_hit_rate=self._cache_hits / lookups if lookups else 0.0,
-                num_batches=self._num_batches,
-                batched_requests=self._batched_requests,
-                mean_batch_size=(self._batched_requests / self._num_batches
-                                 if self._num_batches else 0.0),
-                model_swaps=self._model_swaps,
-            )
+            window = self._ring.copy()
+        # Percentile math happens on the private copy, outside the lock —
+        # concurrent record_request() calls are never blocked by it.
+        if window.size:
+            window *= 1e3
+            mean_ms = float(window.mean())
+            p50_ms, p90_ms, p99_ms = (
+                float(value) for value in np.percentile(window, [50, 90, 99]))
+        else:
+            mean_ms = p50_ms = p90_ms = p99_ms = 0.0
+        hits = int(self._hits_cell.value)
+        misses = int(self._misses_cell.value)
+        lookups = hits + misses
+        num_batches = int(self._batches.value)
+        batched_requests = int(self._batched.value)
+        return StatsSnapshot(
+            requests=lookups,
+            elapsed_seconds=elapsed,
+            qps=lookups / elapsed,
+            mean_ms=mean_ms,
+            p50_ms=p50_ms,
+            p90_ms=p90_ms,
+            p99_ms=p99_ms,
+            cache_hits=hits,
+            cache_misses=misses,
+            cache_hit_rate=hits / lookups if lookups else 0.0,
+            num_batches=num_batches,
+            batched_requests=batched_requests,
+            mean_batch_size=(batched_requests / num_batches
+                             if num_batches else 0.0),
+            model_swaps=int(self._swaps.value),
+        )

@@ -1,0 +1,301 @@
+"""Tests of the metrics substrate (:mod:`repro.obs.metrics`).
+
+The registry is shared by every plane of the system, so the contract is
+exercised hard: exact totals under an 8-thread hammer, get-or-create
+conflict detection, in-place reset that keeps bound children valid, and —
+line by line — that the Prometheus text exposition and the JSON snapshot
+carry identical numbers (one source of truth, two renderings).
+"""
+
+import json
+import math
+import threading
+
+import pytest
+
+from repro.obs import (
+    DEFAULT_LATENCY_BUCKETS,
+    MetricsRegistry,
+    parse_exposition,
+)
+
+
+# ----------------------------------------------------------------------
+# Instruments
+# ----------------------------------------------------------------------
+class TestCounter:
+    def test_inc_and_value(self):
+        counter = MetricsRegistry().counter("repro_things_total", "Things.")
+        cell = counter.labels()
+        cell.inc()
+        cell.inc(2.5)
+        assert cell.value == 3.5
+        assert counter.total() == 3.5
+
+    def test_labeled_children_are_independent(self):
+        counter = MetricsRegistry().counter("repro_requests_total",
+                                            labels=("cache",))
+        counter.inc(cache="hit")
+        counter.inc(3, cache="miss")
+        assert counter.value(cache="hit") == 1.0
+        assert counter.value(cache="miss") == 3.0
+        assert counter.value(cache="never") == 0.0
+        assert counter.total() == 4.0
+
+    def test_bound_cell_shares_state_with_keyword_form(self):
+        counter = MetricsRegistry().counter("repro_requests_total",
+                                            labels=("cache",))
+        bound = counter.labels(cache="hit")
+        counter.inc(cache="hit")
+        bound.inc()
+        assert bound.value == 2.0 and counter.value(cache="hit") == 2.0
+
+    def test_counters_only_go_up(self):
+        counter = MetricsRegistry().counter("repro_things_total")
+        with pytest.raises(ValueError):
+            counter.labels().inc(-1)
+
+    def test_wrong_labels_rejected(self):
+        counter = MetricsRegistry().counter("repro_requests_total",
+                                            labels=("cache",))
+        with pytest.raises(ValueError):
+            counter.inc(color="red")
+        with pytest.raises(ValueError):
+            counter.inc()  # missing the declared label
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        gauge = MetricsRegistry().gauge("repro_depth")
+        cell = gauge.labels()
+        cell.set(10)
+        cell.inc(5)
+        cell.dec(2)
+        assert cell.value == 13.0
+
+    def test_callback_gauge_evaluates_at_read(self):
+        box = {"value": 1.0}
+        gauge = MetricsRegistry().gauge("repro_live", fn=lambda: box["value"])
+        assert gauge.value() == 1.0
+        box["value"] = 7.0
+        assert gauge.value() == 7.0
+
+    def test_callback_errors_read_as_nan_not_raise(self):
+        def explode():
+            raise RuntimeError("collection-time failure")
+
+        gauge = MetricsRegistry().gauge("repro_flaky", fn=explode)
+        assert math.isnan(gauge.value())
+
+
+class TestHistogram:
+    def test_bucketing_is_cumulative_le(self):
+        histogram = MetricsRegistry().histogram(
+            "repro_latency_seconds", buckets=(0.001, 0.01, 0.1))
+        cell = histogram.labels()
+        for value in (0.0005, 0.001, 0.05, 5.0):  # le is inclusive
+            cell.observe(value)
+        counts, total, count = cell.state()
+        assert counts == [2, 0, 1, 1]  # raw per-bucket, +Inf overflow last
+        assert count == 4 and total == pytest.approx(5.0515)
+
+    def test_buckets_must_increase(self):
+        registry = MetricsRegistry()
+        with pytest.raises(ValueError):
+            registry.histogram("repro_bad_seconds", buckets=(0.1, 0.1))
+        with pytest.raises(ValueError):
+            registry.histogram("repro_empty_seconds", buckets=())
+
+
+# ----------------------------------------------------------------------
+# Registry semantics
+# ----------------------------------------------------------------------
+class TestRegistry:
+    def test_get_or_create_returns_same_instrument(self):
+        registry = MetricsRegistry()
+        first = registry.counter("repro_things_total", "Things.")
+        second = registry.counter("repro_things_total")
+        assert first is second
+
+    def test_kind_conflict_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("repro_things_total")
+        with pytest.raises(ValueError, match="already registered"):
+            registry.gauge("repro_things_total")
+
+    def test_label_conflict_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("repro_requests_total", labels=("cache",))
+        with pytest.raises(ValueError, match="labels"):
+            registry.counter("repro_requests_total", labels=("mode",))
+
+    def test_bucket_conflict_raises(self):
+        registry = MetricsRegistry()
+        registry.histogram("repro_latency_seconds", buckets=(0.1, 1.0))
+        with pytest.raises(ValueError, match="buckets"):
+            registry.histogram("repro_latency_seconds", buckets=(0.5, 1.0))
+        # Re-registering without explicit buckets keeps the original ones.
+        assert registry.histogram("repro_latency_seconds",
+                                  buckets=(0.1, 1.0)).buckets == (0.1, 1.0)
+
+    def test_invalid_names_rejected(self):
+        registry = MetricsRegistry()
+        with pytest.raises(ValueError):
+            registry.counter("9starts_with_digit")
+        with pytest.raises(ValueError):
+            registry.counter("repro_ok_total", labels=("bad-label",))
+
+    def test_reset_zeroes_in_place_keeping_bound_cells(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("repro_requests_total", labels=("cache",))
+        bound = counter.labels(cache="hit")
+        bound.inc(5)
+        counter._reset()
+        assert bound.value == 0.0
+        bound.inc()  # the pre-reset binding still feeds the instrument
+        assert counter.value(cache="hit") == 1.0
+
+
+# ----------------------------------------------------------------------
+# Concurrency: exact totals under contention
+# ----------------------------------------------------------------------
+class TestConcurrency:
+    THREADS = 8
+    PER_THREAD = 5_000
+
+    def test_hammered_counter_loses_nothing(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("repro_requests_total", labels=("cache",))
+        barrier = threading.Barrier(self.THREADS)
+
+        def hammer(index: int) -> None:
+            # Half the threads bind once, half go through the keyword path.
+            bound = counter.labels(cache="hit") if index % 2 == 0 else None
+            barrier.wait()
+            for _ in range(self.PER_THREAD):
+                if bound is not None:
+                    bound.inc()
+                else:
+                    counter.inc(cache="miss")
+
+        threads = [threading.Thread(target=hammer, args=(index,))
+                   for index in range(self.THREADS)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        expected_each = (self.THREADS // 2) * self.PER_THREAD
+        assert counter.value(cache="hit") == expected_each
+        assert counter.value(cache="miss") == expected_each
+        assert counter.total() == self.THREADS * self.PER_THREAD
+
+    def test_hammered_histogram_keeps_exact_count_and_sum(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram("repro_latency_seconds",
+                                       buckets=(0.25, 0.75))
+        cell = histogram.labels()
+        barrier = threading.Barrier(self.THREADS)
+
+        def hammer() -> None:
+            barrier.wait()
+            for index in range(self.PER_THREAD):
+                cell.observe(0.5 if index % 2 == 0 else 1.0)
+
+        threads = [threading.Thread(target=hammer)
+                   for _ in range(self.THREADS)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        counts, total, count = cell.state()
+        expected = self.THREADS * self.PER_THREAD
+        assert count == expected
+        assert counts == [0, expected // 2, expected // 2]
+        assert total == pytest.approx(expected * 0.75)
+
+    def test_concurrent_get_or_create_yields_one_instrument(self):
+        registry = MetricsRegistry()
+        results = [None] * self.THREADS
+        barrier = threading.Barrier(self.THREADS)
+
+        def create(index: int) -> None:
+            barrier.wait()
+            results[index] = registry.counter("repro_shared_total")
+
+        threads = [threading.Thread(target=create, args=(index,))
+                   for index in range(self.THREADS)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert all(result is results[0] for result in results)
+
+
+# ----------------------------------------------------------------------
+# Exposition <-> snapshot parity
+# ----------------------------------------------------------------------
+def _populated_registry() -> MetricsRegistry:
+    registry = MetricsRegistry()
+    requests = registry.counter("repro_requests_total", "Requests served.",
+                                labels=("cache",))
+    requests.inc(3, cache="hit")
+    requests.inc(cache="miss")
+    registry.gauge("repro_depth", "Queue depth.").labels().set(4.25)
+    registry.gauge("repro_live", "Callback.", fn=lambda: 2.5)
+    latency = registry.histogram("repro_latency_seconds", "Latency.",
+                                 buckets=(0.001, 0.01, 0.1))
+    for value in (0.0004, 0.002, 0.002, 0.05, 3.0):
+        latency.observe(value)
+    return registry
+
+
+class TestExposition:
+    def test_text_format_shape(self):
+        text = _populated_registry().exposition()
+        assert "# HELP repro_requests_total Requests served." in text
+        assert "# TYPE repro_requests_total counter" in text
+        assert '\nrepro_requests_total{cache="hit"} 3.0\n' in text
+        assert "# TYPE repro_latency_seconds histogram" in text
+        assert 'repro_latency_seconds_bucket{le="+Inf"} 5' in text
+        assert text.endswith("\n")
+
+    def test_every_exposition_line_matches_the_json_snapshot(self):
+        registry = _populated_registry()
+        snapshot = json.loads(json.dumps(registry.snapshot()))  # JSON-safe
+        parsed = parse_exposition(registry.exposition())
+        assert parsed  # non-empty
+
+        matched = 0
+        for name, entry in snapshot.items():
+            for sample in entry["samples"]:
+                labels = tuple(sorted(
+                    (key, str(value))
+                    for key, value in sample["labels"].items()))
+                if entry["type"] == "histogram":
+                    for bound, cumulative in sample["buckets"]:
+                        le = "+Inf" if bound == "+Inf" else repr(float(bound))
+                        key = (f"{name}_bucket",
+                               tuple(sorted(labels + (("le", le),))))
+                        assert parsed[key] == cumulative
+                        matched += 1
+                    assert parsed[(f"{name}_sum", labels)] == sample["sum"]
+                    assert parsed[(f"{name}_count", labels)] == sample["count"]
+                    matched += 2
+                else:
+                    assert parsed[(name, labels)] == sample["value"]
+                    matched += 1
+        # Both renderings carry exactly the same series, nothing extra.
+        assert matched == len(parsed)
+
+    def test_label_values_are_escaped_and_round_trip(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("repro_odd_total", labels=("detail",))
+        nasty = 'quote " backslash \\ newline \n end'
+        counter.inc(detail=nasty)
+        parsed = parse_exposition(registry.exposition())
+        assert parsed[("repro_odd_total",
+                       (("detail", nasty),))] == 1.0
+
+    def test_default_buckets_are_increasing(self):
+        assert list(DEFAULT_LATENCY_BUCKETS) == sorted(DEFAULT_LATENCY_BUCKETS)
+        assert len(set(DEFAULT_LATENCY_BUCKETS)) == len(DEFAULT_LATENCY_BUCKETS)
